@@ -1,0 +1,70 @@
+"""Ablations on the design choices the paper leaves unexplored.
+
+Not paper figures — these quantify the sensitivity of the reproduction to the
+parameters we had to concretise: the defuzzification method, the crisp
+acceptance threshold applied to the soft A/R output, and how FACS/SCC compare
+against the classic non-fuzzy baselines of the related-work section.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_curves
+
+from repro.experiments import baseline_ablation, defuzzifier_ablation, threshold_ablation
+
+
+def test_ablation_defuzzifier(benchmark):
+    """Centroid vs bisector vs mean-of-maximum in both FLCs."""
+    sweep = benchmark.pedantic(
+        defuzzifier_ablation,
+        kwargs={"request_counts": (30, 70, 100), "replications": 4},
+        rounds=1,
+        iterations=1,
+    )
+    attach_curves(benchmark, sweep)
+    centroid = sweep.curve("centroid").mean_acceptance()
+    bisector = sweep.curve("bisector").mean_acceptance()
+    mom = sweep.curve("mom").mean_acceptance()
+    print(f"\ncentroid={centroid:.1f}%  bisector={bisector:.1f}%  mom={mom:.1f}%")
+    # Centroid and bisector give nearly identical controllers; MOM is coarser
+    # but must stay in the same qualitative band.
+    assert abs(centroid - bisector) < 5.0
+    assert abs(centroid - mom) < 20.0
+
+
+def test_ablation_acceptance_threshold(benchmark):
+    """The crisp threshold on the soft A/R output trades acceptance for caution."""
+    sweep = benchmark.pedantic(
+        threshold_ablation,
+        kwargs={"thresholds": (-0.25, 0.0, 0.25, 0.5), "request_counts": (30, 70, 100), "replications": 4},
+        rounds=1,
+        iterations=1,
+    )
+    attach_curves(benchmark, sweep)
+    means = {label: sweep.curve(label).mean_acceptance() for label in sweep.labels()}
+    print()
+    for label, value in means.items():
+        print(f"  {label}: {value:.1f}%")
+    ordered = [means[label] for label in sorted(means, key=lambda l: float(l.split("=")[1]))]
+    tolerance = 1.0
+    assert all(a >= b - tolerance for a, b in zip(ordered, ordered[1:])), ordered
+
+
+def test_ablation_against_classic_baselines(benchmark):
+    """FACS and SCC vs Complete Sharing, Guard Channel and Threshold policies."""
+    sweep = benchmark.pedantic(
+        baseline_ablation,
+        kwargs={"request_counts": (30, 70, 100), "replications": 4},
+        rounds=1,
+        iterations=1,
+    )
+    attach_curves(benchmark, sweep)
+    means = {label: sweep.curve(label).mean_acceptance() for label in sweep.labels()}
+    print()
+    for label, value in sorted(means.items(), key=lambda item: -item[1]):
+        print(f"  {label}: {value:.1f}%")
+    # Complete Sharing is the acceptance upper bound among the baselines.
+    assert means["CS"] >= means["FACS"]
+    assert means["CS"] >= means["Threshold"]
+    # Everything stays within sane bounds.
+    assert all(0.0 <= value <= 100.0 for value in means.values())

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the substrates: fuzzy inference, DES throughput, batch runs.
+
+Not paper artifacts — these track the performance of the building blocks so
+regressions in the hot paths (FLC inference per admission decision, event
+processing in the kernel) are visible.
+"""
+
+from __future__ import annotations
+
+from repro.cac.facs.system import FuzzyAdmissionControlSystem
+from repro.cellular.cell import BaseStation
+from repro.cellular.calls import Call
+from repro.cellular.mobility import UserState
+from repro.cellular.traffic import ServiceClass
+from repro.des.environment import Environment
+from repro.simulation.batch import run_batch_experiment
+from repro.simulation.config import BatchExperimentConfig
+from repro.simulation.scenario import facs_factory
+
+
+def test_facs_single_decision_latency(benchmark):
+    """One full FACS admission decision (FLC1 + FLC2 + bookkeeping)."""
+    facs = FuzzyAdmissionControlSystem()
+    station = BaseStation()
+    call = Call(
+        service=ServiceClass.VOICE,
+        bandwidth_units=5,
+        user_state=UserState(60.0, 20.0, 3.0),
+    )
+    decision = benchmark(facs.decide, call, station, 0.0)
+    assert decision.accepted
+
+
+def test_des_event_throughput(benchmark):
+    """Process 10k chained timeout events through the kernel."""
+
+    def run_chain() -> float:
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    final_time = benchmark(run_chain)
+    assert final_time == 10_000.0
+
+
+def test_batch_experiment_throughput(benchmark):
+    """One full 100-request batch run with the FACS controller."""
+    config = BatchExperimentConfig(request_count=100, seed=20070616)
+    output = benchmark(run_batch_experiment, config, facs_factory())
+    assert output.result.metrics.requested == 100

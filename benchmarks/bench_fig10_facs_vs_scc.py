@@ -1,0 +1,58 @@
+"""Figure 10: FACS vs SCC on the same random workload.
+
+Regenerates the paper's headline comparison and checks its shape: FACS
+accepts at least as many connections as SCC while bandwidth is plentiful, and
+fewer once the system saturates (the crossover the paper places around 50
+requesting connections; on our simulator it falls later in the sweep but on
+the same side of the light/heavy boundary — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_REPLICATIONS, attach_curves
+
+from repro.experiments import (
+    crossover_request_count,
+    render_figure10,
+    reproduce_figure10,
+)
+
+# A denser x axis than the other figures so the crossover is localised.
+FIG10_REQUEST_COUNTS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+def test_fig10_facs_vs_scc(benchmark):
+    sweep = benchmark.pedantic(
+        reproduce_figure10,
+        kwargs={
+            "request_counts": FIG10_REQUEST_COUNTS,
+            "replications": BENCH_REPLICATIONS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure10(sweep))
+    attach_curves(benchmark, sweep)
+
+    facs = sweep.curve("FACS")
+    scc = sweep.curve("SCC")
+
+    # Shape 1: at light load (20-40 requests) FACS accepts at least as much as SCC.
+    light_counts = (20, 30, 40)
+    facs_light = sum(facs.point_at(n).acceptance_percentage for n in light_counts) / len(light_counts)
+    scc_light = sum(scc.point_at(n).acceptance_percentage for n in light_counts) / len(light_counts)
+    assert facs_light >= scc_light
+
+    # Shape 2: at heavy load (90-100 requests) SCC accepts more than FACS,
+    # because FACS holds back calls to protect the QoS of ongoing calls.
+    heavy_counts = (90, 100)
+    facs_heavy = sum(facs.point_at(n).acceptance_percentage for n in heavy_counts) / len(heavy_counts)
+    scc_heavy = sum(scc.point_at(n).acceptance_percentage for n in heavy_counts) / len(heavy_counts)
+    assert scc_heavy > facs_heavy
+
+    # Shape 3: a crossover exists inside the sweep.
+    crossover = crossover_request_count(sweep)
+    assert crossover is not None
+    assert FIG10_REQUEST_COUNTS[0] < crossover <= FIG10_REQUEST_COUNTS[-1]
+    benchmark.extra_info["crossover_requests"] = crossover

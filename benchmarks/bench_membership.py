@@ -1,0 +1,56 @@
+"""Figures 5 and 6: membership functions of FLC1 and FLC2.
+
+Regenerates the membership-function panels as ASCII plots, asserts the
+structural properties visible in the figures (term sets, universes, full
+coverage), and measures the single-inference latency of each controller —
+the "suitable for real-time operation" property the paper uses to justify
+triangular/trapezoidal shapes.
+"""
+
+from __future__ import annotations
+
+from repro.cac.facs.flc1 import FLC1
+from repro.cac.facs.flc2 import FLC2
+from repro.experiments.tables import render_flc1_memberships, render_flc2_memberships
+
+
+def test_fig5_flc1_membership_functions(benchmark):
+    """Figure 5 — FLC1 membership functions and single-inference latency."""
+    flc1 = FLC1()
+
+    result = benchmark(flc1.correction_value, 60.0, 30.0, 5.0)
+    assert 0.0 <= result <= 1.0
+
+    print()
+    print(render_flc1_memberships(points=17))
+
+    variables = flc1.controller.rule_base.input_variables
+    assert variables["S"].term_names == ["Sl", "M", "Fa"]
+    assert variables["A"].term_names == ["B1", "L1", "L2", "St", "R1", "R2", "B2"]
+    assert variables["D"].term_names == ["N", "F"]
+    for variable in variables.values():
+        assert variable.is_complete()
+    output = flc1.controller.rule_base.output_variables["Cv"]
+    assert output.term_names == [f"Cv{i}" for i in range(1, 10)]
+    assert output.is_complete()
+
+
+def test_fig6_flc2_membership_functions(benchmark):
+    """Figure 6 — FLC2 membership functions and single-inference latency."""
+    flc2 = FLC2()
+
+    result = benchmark(flc2.decision_score, 0.7, 5.0, 20.0)
+    assert -1.0 <= result <= 1.0
+
+    print()
+    print(render_flc2_memberships(points=17))
+
+    variables = flc2.controller.rule_base.input_variables
+    assert variables["Cv"].term_names == ["B", "N", "G"]
+    assert variables["R"].term_names == ["T", "Vo", "Vi"]
+    assert variables["Cs"].term_names == ["S", "M", "F"]
+    for variable in variables.values():
+        assert variable.is_complete()
+    decision = flc2.controller.rule_base.output_variables["AR"]
+    assert decision.term_names == ["R", "WR", "NRNA", "WA", "A"]
+    assert decision.is_complete()

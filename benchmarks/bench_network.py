@@ -1,0 +1,70 @@
+"""Multi-cell integration run supporting the paper's QoS claim (Section 4).
+
+The paper argues FACS "guarantees the QoS of ongoing calls"; the single-cell
+batch figures only show acceptance.  This bench runs the full 7-cell network
+with mobility and handoffs for FACS, SCC and Complete Sharing and reports the
+blocking / dropping / handoff-failure trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.cac import CompleteSharingController
+from repro.simulation import NetworkExperimentConfig, run_network_experiment
+from repro.simulation.scenario import facs_factory, scc_factory
+
+CONFIG = NetworkExperimentConfig(
+    rings=1,
+    cell_radius_km=1.5,
+    arrival_rate_per_cell_per_s=0.03,
+    duration_s=1500.0,
+    mean_speed_kmh=60.0,
+    seed=20070615,
+)
+
+
+def _run_all():
+    return {
+        "FACS": run_network_experiment(CONFIG, facs_factory()),
+        "SCC": run_network_experiment(CONFIG, scc_factory()),
+        "CS": run_network_experiment(CONFIG, CompleteSharingController),
+    }
+
+
+def test_network_integration(benchmark):
+    outputs = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    print()
+    for label, output in outputs.items():
+        metrics = output.result.metrics
+        print(
+            f"  {label:>4}: accepted {metrics.acceptance_percentage:5.1f}%  "
+            f"P(block)={metrics.blocking_probability:.3f}  "
+            f"P(drop)={metrics.dropping_probability:.3f}  "
+            f"handoffs={output.handoff_attempts}  "
+            f"handoff-fail={output.handoff_failure_ratio:.3f}  "
+            f"avg-occupancy={output.time_average_occupancy_bu:.1f} BU"
+        )
+        benchmark.extra_info[label] = {
+            "acceptance_percentage": round(metrics.acceptance_percentage, 2),
+            "blocking_probability": round(metrics.blocking_probability, 4),
+            "dropping_probability": round(metrics.dropping_probability, 4),
+            "handoff_failure_ratio": round(output.handoff_failure_ratio, 4),
+        }
+
+    # Sanity: every controller processed the same workload shape.
+    for output in outputs.values():
+        assert output.result.metrics.requested > 0
+        assert output.handoff_attempts > 0
+
+    # Complete Sharing admits the most new calls.
+    assert (
+        outputs["CS"].result.metrics.acceptance_percentage
+        >= outputs["FACS"].result.metrics.acceptance_percentage
+    )
+
+    # FACS keeps the dropping probability of admitted calls no worse than
+    # Complete Sharing (the QoS-protection claim).
+    assert (
+        outputs["FACS"].result.metrics.dropping_probability
+        <= outputs["CS"].result.metrics.dropping_probability + 0.02
+    )

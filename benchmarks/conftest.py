@@ -1,0 +1,33 @@
+"""Shared settings for the benchmark harness.
+
+Every paper table/figure has one benchmark module.  The figure benches run a
+full (but moderately sized) parameter sweep once per session via
+``benchmark.pedantic(..., rounds=1)`` — they are experiments, not
+micro-benchmarks — and attach the regenerated rows to
+``benchmark.extra_info`` so the JSON output contains the reproduced data.
+Run them with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Request counts used by the figure benches (the x axis of Figs. 7-10).
+BENCH_REQUEST_COUNTS = (10, 30, 50, 70, 100)
+
+#: Replications per point.  More replications tighten the curves but the
+#: qualitative assertions below already hold at this size.
+BENCH_REPLICATIONS = 6
+
+
+def attach_curves(benchmark, sweep) -> None:
+    """Store the regenerated curve data in the benchmark's extra info."""
+    benchmark.extra_info["sweep"] = {
+        curve.label: {
+            str(point.request_count): round(point.acceptance_percentage, 2)
+            for point in curve.points
+        }
+        for curve in sweep.curves
+    }

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Build a custom fuzzy controller with the toolkit the paper's FLCs use.
+
+The `repro.fuzzy` package is a general Mamdani toolkit: this example defines a
+small handoff-decision controller (signal strength + cell load -> handoff
+urgency) from scratch — its own linguistic variables, a rule base written in
+the text DSL, and a centroid defuzzifier — then sweeps its decision surface.
+
+Run with:  python examples/custom_fuzzy_controller.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_curve_table
+from repro.fuzzy import FuzzyController, LinguisticVariable, Term, Trapezoidal, Triangular
+
+RULES = """
+# Strong signal: stay unless the cell is overloaded.
+IF signal is strong AND load is light THEN urgency is none
+IF signal is strong AND load is moderate THEN urgency is low
+IF signal is strong AND load is heavy THEN urgency is medium
+# Fading signal: prepare to hand off.
+IF signal is fading AND load is light THEN urgency is low
+IF signal is fading AND load is moderate THEN urgency is medium
+IF signal is fading AND load is heavy THEN urgency is high
+# Weak signal: hand off almost regardless of load.
+IF signal is weak AND load is light THEN urgency is high
+IF signal is weak AND load is moderate THEN urgency is high
+IF signal is weak AND load is heavy THEN urgency is critical
+"""
+
+
+def build_controller() -> FuzzyController:
+    signal = LinguisticVariable(
+        "signal",
+        (-110.0, -50.0),  # dBm
+        [
+            Term("weak", Trapezoidal(-110.0, -110.0, -100.0, -85.0)),
+            Term("fading", Triangular(-100.0, -85.0, -70.0)),
+            Term("strong", Trapezoidal(-85.0, -70.0, -50.0, -50.0)),
+        ],
+    )
+    load = LinguisticVariable(
+        "load",
+        (0.0, 1.0),
+        [
+            Term("light", Triangular(0.0, 0.0, 0.5)),
+            Term("moderate", Triangular(0.0, 0.5, 1.0)),
+            Term("heavy", Triangular(0.5, 1.0, 1.0)),
+        ],
+    )
+    urgency = LinguisticVariable(
+        "urgency",
+        (0.0, 1.0),
+        [
+            Term("none", Triangular(0.0, 0.0, 0.25)),
+            Term("low", Triangular(0.0, 0.25, 0.5)),
+            Term("medium", Triangular(0.25, 0.5, 0.75)),
+            Term("high", Triangular(0.5, 0.75, 1.0)),
+            Term("critical", Triangular(0.75, 1.0, 1.0)),
+        ],
+    )
+    return FuzzyController("handoff-urgency", [signal, load], [urgency], RULES)
+
+
+def main() -> None:
+    controller = build_controller()
+    print(controller)
+    print(f"Rule base: {len(controller.rule_base)} rules, complete={controller.rule_base.is_complete()}\n")
+
+    signal_levels = [-105.0, -95.0, -85.0, -75.0, -60.0]
+    series = {}
+    for load in (0.2, 0.5, 0.9):
+        series[f"load={load:.1f}"] = [
+            controller.compute(signal=signal, load=load) for signal in signal_levels
+        ]
+    print(
+        format_curve_table(
+            "Signal (dBm)",
+            signal_levels,
+            series,
+            title="Handoff urgency (0 = stay, 1 = hand off now)",
+        )
+    )
+
+    result = controller.evaluate(signal=-92.0, load=0.85)
+    dominant = result.dominant_rule()
+    print(
+        f"\nAt -92 dBm and 85% load the urgency is {result['urgency']:.2f}; "
+        f"the dominant rule is: {dominant.rule}"
+    )
+
+
+if __name__ == "__main__":
+    main()

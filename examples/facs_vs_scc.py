@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Reproduce the Figure 10 comparison at example scale: FACS vs SCC.
+
+Runs the same random workload through the paper's FACS controller and the
+Shadow Cluster Concept baseline and reports where each wins — FACS accepts
+more while bandwidth is plentiful, SCC accepts more once the cell saturates
+because it does not grade the requesting user's trajectory.
+
+Run with:  python examples/facs_vs_scc.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import paired_difference
+from repro.experiments import (
+    crossover_request_count,
+    render_figure10,
+    reproduce_figure10,
+)
+
+
+def main() -> None:
+    request_counts = (10, 30, 50, 70, 100)
+    sweep = reproduce_figure10(request_counts=request_counts, replications=5)
+    print(render_figure10(sweep))
+
+    facs = sweep.curve("FACS").acceptance_series()
+    scc = sweep.curve("SCC").acceptance_series()
+    mean_diff, (low, high) = paired_difference(facs, scc)
+    print(
+        f"\nMean FACS-minus-SCC acceptance difference over the sweep: "
+        f"{mean_diff:+.1f} points (95% CI [{low:+.1f}, {high:+.1f}])"
+    )
+    crossover = crossover_request_count(sweep)
+    if crossover is None:
+        print("The curves did not cross within this sweep.")
+    else:
+        print(
+            f"SCC overtakes FACS at {crossover} requesting connections — beyond that "
+            "point FACS deliberately holds back calls to protect ongoing-call QoS."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Multi-cell integration run: mobility, handoffs and dropping.
+
+Drives the full cellular substrate — a 7-cell hexagonal network, Poisson call
+arrivals per cell, Gauss-Markov mobility and handoffs — under three admission
+controllers (FACS, SCC, Complete Sharing) and compares blocking, dropping and
+handoff failure.  This is the experiment behind the paper's claim that FACS
+protects the QoS of ongoing calls.
+
+Run with:  python examples/multicell_network.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.cac import CompleteSharingController
+from repro.simulation import NetworkExperimentConfig, run_network_experiment
+from repro.simulation.scenario import facs_factory, scc_factory
+
+
+def main() -> None:
+    config = NetworkExperimentConfig(
+        rings=1,
+        cell_radius_km=1.5,
+        arrival_rate_per_cell_per_s=0.03,
+        duration_s=1200.0,
+        mean_speed_kmh=60.0,
+        seed=20070614,
+    )
+    controllers = {
+        "FACS": facs_factory(),
+        "SCC": scc_factory(),
+        "CS": CompleteSharingController,
+    }
+
+    rows = []
+    for label, factory in controllers.items():
+        output = run_network_experiment(config, factory)
+        metrics = output.result.metrics
+        rows.append(
+            [
+                label,
+                metrics.requested,
+                f"{metrics.acceptance_percentage:.1f}%",
+                f"{metrics.blocking_probability:.3f}",
+                f"{metrics.dropping_probability:.3f}",
+                output.handoff_attempts,
+                f"{output.handoff_failure_ratio:.3f}",
+                f"{output.time_average_occupancy_bu:.1f}",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "Controller",
+                "Requests",
+                "Accepted",
+                "P(block)",
+                "P(drop)",
+                "Handoffs",
+                "Handoff fail",
+                "Avg BU in use",
+            ],
+            rows,
+            title=f"7-cell network, {config.duration_s:.0f}s of Poisson arrivals, Gauss-Markov mobility",
+        )
+    )
+    print(
+        "\nComplete Sharing admits the most calls but pays for it with dropped handoffs;\n"
+        "FACS and SCC hold back some new calls to keep ongoing calls alive."
+    )
+
+
+if __name__ == "__main__":
+    main()

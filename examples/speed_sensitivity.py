@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Reproduce the Figure 7 experiment at example scale: speed sensitivity.
+
+Runs the single-cell batch experiment for walking (4, 10 km/h) and vehicular
+(30, 60 km/h) users and prints the acceptance-percentage curves plus an ASCII
+plot — the same workload the full benchmark uses, with fewer replications so
+it finishes in a few seconds.
+
+Run with:  python examples/speed_sensitivity.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import write_sweep_csv
+from repro.experiments import render_figure7, reproduce_figure7
+
+
+def main() -> None:
+    sweep = reproduce_figure7(
+        speeds_kmh=(4.0, 10.0, 30.0, 60.0),
+        request_counts=(10, 30, 50, 70, 100),
+        replications=5,
+    )
+    print(render_figure7(sweep))
+
+    slow = sweep.curve("4km/h").mean_acceptance()
+    fast = sweep.curve("60km/h").mean_acceptance()
+    print(
+        f"\nMean acceptance over the sweep: 4 km/h = {slow:.1f}%, 60 km/h = {fast:.1f}% "
+        f"(fast users gain {fast - slow:+.1f} percentage points)"
+    )
+
+    path = write_sweep_csv(sweep, "results/fig7_speed.csv")
+    print(f"Raw curve data written to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Reporting utilities: statistics, ASCII tables/plots and CSV export."""
+
+from .stats import SummaryStatistics, paired_difference, summarize, t_confidence_interval
+from .tables import format_curve_table, format_table
+from .plotting import ascii_line_plot, ascii_membership_plot
+from .io import read_sweep_csv, sweep_to_rows, write_sweep_csv
+
+__all__ = [
+    "SummaryStatistics",
+    "summarize",
+    "t_confidence_interval",
+    "paired_difference",
+    "format_table",
+    "format_curve_table",
+    "ascii_line_plot",
+    "ascii_membership_plot",
+    "sweep_to_rows",
+    "write_sweep_csv",
+    "read_sweep_csv",
+]

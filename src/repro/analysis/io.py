@@ -1,0 +1,91 @@
+"""CSV export/import of sweep results."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from ..simulation.sweep import SweepCurve, SweepPoint, SweepResult
+
+__all__ = ["sweep_to_rows", "write_sweep_csv", "read_sweep_csv"]
+
+_FIELDNAMES = (
+    "sweep",
+    "curve",
+    "controller",
+    "request_count",
+    "acceptance_percentage",
+    "std_percentage",
+    "replications",
+)
+
+
+def sweep_to_rows(sweep: SweepResult) -> list[dict[str, object]]:
+    """Flatten a sweep result into one dict per (curve, point)."""
+    rows: list[dict[str, object]] = []
+    for curve in sweep.curves:
+        for point in curve.points:
+            rows.append(
+                {
+                    "sweep": sweep.name,
+                    "curve": curve.label,
+                    "controller": curve.controller,
+                    "request_count": point.request_count,
+                    "acceptance_percentage": point.acceptance_percentage,
+                    "std_percentage": point.std_percentage,
+                    "replications": point.replications,
+                }
+            )
+    return rows
+
+
+def write_sweep_csv(sweep: SweepResult, path: str | Path) -> Path:
+    """Write a sweep result to a CSV file and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDNAMES)
+        writer.writeheader()
+        for row in sweep_to_rows(sweep):
+            writer.writerow(row)
+    return target
+
+
+def read_sweep_csv(path: str | Path) -> SweepResult:
+    """Read a sweep result previously written by :func:`write_sweep_csv`."""
+    source = Path(path)
+    curves: dict[str, dict[str, object]] = {}
+    sweep_name = source.stem
+    with source.open() as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_FIELDNAMES) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"CSV {source} is missing columns: {sorted(missing)}")
+        for row in reader:
+            sweep_name = row["sweep"]
+            label = row["curve"]
+            entry = curves.setdefault(
+                label, {"controller": row["controller"], "points": []}
+            )
+            entry["points"].append(
+                SweepPoint(
+                    request_count=int(row["request_count"]),
+                    acceptance_percentage=float(row["acceptance_percentage"]),
+                    std_percentage=float(row["std_percentage"]),
+                    replications=int(row["replications"]),
+                )
+            )
+    if not curves:
+        raise ValueError(f"CSV {source} contains no data rows")
+    return SweepResult(
+        name=sweep_name,
+        curves=tuple(
+            SweepCurve(
+                label=label,
+                controller=str(entry["controller"]),
+                points=tuple(entry["points"]),  # type: ignore[arg-type]
+            )
+            for label, entry in curves.items()
+        ),
+    )

@@ -1,0 +1,94 @@
+"""ASCII line plots (matplotlib is not available offline).
+
+The benches use these to render the shape of each figure directly in the
+terminal, so "who wins and where the crossover falls" is visible without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_line_plot", "ascii_membership_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 70,
+    height: int = 20,
+    y_label: str = "",
+    x_label: str = "",
+    title: str = "",
+) -> str:
+    """Render one or more series against a shared x axis as an ASCII plot."""
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 10 or height < 5:
+        raise ValueError(f"plot area too small: {width}x{height}")
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points but the x axis has {len(x_values)}"
+            )
+    if len(x_values) < 2:
+        raise ValueError("at least two x values are required")
+
+    all_y = [v for values in series.values() for v in values]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max - y_min < 1e-12:
+        y_min -= 1.0
+        y_max += 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max - x_min < 1e-12:
+        raise ValueError("x values are all identical")
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return int(round((y_max - y) / (y_max - y_min) * (height - 1)))
+
+    for series_index, (label, values) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for x, y in zip(x_values, values):
+            grid[to_row(y)][to_col(x)] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_at_row = y_max - (y_max - y_min) * row_index / (height - 1)
+        lines.append(f"{y_at_row:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{x_min:<10.1f}{x_label:^{max(width - 20, 0)}}{x_max:>10.1f}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {label}" for i, label in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    if y_label:
+        lines.append(f"y axis: {y_label}")
+    return "\n".join(lines)
+
+
+def ascii_membership_plot(
+    term_samples: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 70,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render membership functions (term -> list of (x, mu) samples)."""
+    if not term_samples:
+        raise ValueError("at least one term is required")
+    xs = sorted({x for samples in term_samples.values() for x, _ in samples})
+    series = {}
+    for term, samples in term_samples.items():
+        lookup = {x: mu for x, mu in samples}
+        series[term] = [lookup.get(x, 0.0) for x in xs]
+    return ascii_line_plot(
+        xs, series, width=width, height=height, y_label="membership", title=title
+    )

@@ -1,0 +1,79 @@
+"""ASCII table rendering for benchmark and experiment output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_curve_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a plain-text table with aligned columns.
+
+    Numeric cells are right-aligned and floats rendered with two decimals;
+    everything else is left-aligned.
+    """
+    if not headers:
+        raise ValueError("a table requires at least one column")
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        rendered_rows.append([_render_cell(cell) for cell in row])
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for original, row in zip(rows, rendered_rows):
+        cells = []
+        for index, cell in enumerate(row):
+            if isinstance(original[index], (int, float)) and not isinstance(original[index], bool):
+                cells.append(cell.rjust(widths[index]))
+            else:
+                cells.append(cell.ljust(widths[index]))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def format_curve_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render curves sharing an x axis as one table (one column per curve)."""
+    if not series:
+        raise ValueError("at least one series is required")
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points but the x axis has {len(x_values)}"
+            )
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *[series[label][index] for label in series]]
+        for index, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,134 @@
+"""Differentiated-service counters (Ds, RTC, NRTC, Cs) of the FACS system.
+
+Fig. 4 of the paper shows accepted calls being routed by a Differentiated
+service (Ds) block into a Real Time Counter (RTC) and a Non Real Time Counter
+(NRTC); their combined occupancy is the Counter state (Cs) fed back into
+FLC2.  This module implements that bookkeeping as a small stateful object the
+FACS controller owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cellular.calls import Call
+from ..cellular.traffic import PAPER_BANDWIDTH_UNITS, ServiceClass
+
+__all__ = ["ServiceCounters", "CounterSnapshot"]
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Immutable view of the counters at one instant."""
+
+    real_time_bu: int
+    non_real_time_bu: int
+    capacity_bu: int
+
+    @property
+    def total_bu(self) -> int:
+        """The paper's Counter state Cs: total bandwidth units in use."""
+        return self.real_time_bu + self.non_real_time_bu
+
+    @property
+    def occupancy(self) -> float:
+        return self.total_bu / self.capacity_bu
+
+    @property
+    def free_bu(self) -> int:
+        return self.capacity_bu - self.total_bu
+
+
+class ServiceCounters:
+    """RTC / NRTC bandwidth counters with the Ds routing rule.
+
+    Voice and video (real-time) calls are counted in RTC, text
+    (non-real-time) calls in NRTC.  The counters track *our own* admissions —
+    which, in the single-controller experiments, mirrors the base-station
+    ledger, and in multi-controller comparisons lets FACS reason about the
+    load it has itself admitted.
+    """
+
+    def __init__(self, capacity_bu: int = PAPER_BANDWIDTH_UNITS):
+        if capacity_bu <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bu}")
+        self._capacity_bu = int(capacity_bu)
+        self._real_time_bu = 0
+        self._non_real_time_bu = 0
+        self._tracked: dict[int, tuple[int, bool]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bu(self) -> int:
+        return self._capacity_bu
+
+    @property
+    def real_time_bu(self) -> int:
+        return self._real_time_bu
+
+    @property
+    def non_real_time_bu(self) -> int:
+        return self._non_real_time_bu
+
+    @property
+    def counter_state(self) -> int:
+        """The paper's Cs input to FLC2 (total BU in use)."""
+        return self._real_time_bu + self._non_real_time_bu
+
+    @property
+    def tracked_calls(self) -> int:
+        return len(self._tracked)
+
+    def snapshot(self) -> CounterSnapshot:
+        return CounterSnapshot(
+            real_time_bu=self._real_time_bu,
+            non_real_time_bu=self._non_real_time_bu,
+            capacity_bu=self._capacity_bu,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def classify(call: Call) -> bool:
+        """The Ds block: ``True`` for real-time (RTC), ``False`` for NRTC."""
+        return call.service.is_real_time
+
+    def admit(self, call: Call) -> None:
+        """Count an admitted call's bandwidth in the appropriate counter."""
+        if call.call_id in self._tracked:
+            raise ValueError(f"call {call.call_id} is already counted")
+        if self.counter_state + call.bandwidth_units > self._capacity_bu:
+            raise ValueError(
+                f"admitting {call.bandwidth_units} BU would exceed capacity "
+                f"{self._capacity_bu} (currently {self.counter_state} BU in use)"
+            )
+        is_real_time = self.classify(call)
+        if is_real_time:
+            self._real_time_bu += call.bandwidth_units
+        else:
+            self._non_real_time_bu += call.bandwidth_units
+        self._tracked[call.call_id] = (call.bandwidth_units, is_real_time)
+
+    def release(self, call: Call) -> None:
+        """Remove a previously counted call (completion, drop, or handoff-out)."""
+        entry = self._tracked.pop(call.call_id, None)
+        if entry is None:
+            raise KeyError(f"call {call.call_id} is not counted")
+        amount, is_real_time = entry
+        if is_real_time:
+            self._real_time_bu -= amount
+        else:
+            self._non_real_time_bu -= amount
+
+    def is_tracking(self, call: Call) -> bool:
+        return call.call_id in self._tracked
+
+    def reset(self) -> None:
+        self._real_time_bu = 0
+        self._non_real_time_bu = 0
+        self._tracked.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceCounters(RTC={self._real_time_bu}BU, NRTC={self._non_real_time_bu}BU, "
+            f"Cs={self.counter_state}/{self._capacity_bu}BU)"
+        )

@@ -1,0 +1,244 @@
+"""Membership-function configuration of FLC1 and FLC2 (Figs. 5 and 6).
+
+The paper specifies the *shapes* (triangular/trapezoidal, Section 3) and the
+universe tick marks visible in Figs. 5 and 6 but not every numeric break
+point; the values here are read off those figures and kept in one place so
+the sensitivity ablations can perturb them.  See DESIGN.md Section 5 for the
+full concretisation table.
+
+Universe conventions (Section 4 of the paper):
+
+* ``S``  — user speed, 0–120 km/h;
+* ``A``  — user heading relative to the bearing towards the BS, −180°…180°;
+* ``D``  — distance between user and BS, 0–10 km;
+* ``Cv`` — correction value, 0–1;
+* ``R``  — requested bandwidth, 0–10 BU (text 1, voice 5, video 10);
+* ``Cs`` — counter state, 0–40 BU;
+* ``A/R``— soft accept/reject decision, −1…1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...cellular.traffic import PAPER_BANDWIDTH_UNITS
+from ...fuzzy.membership import Trapezoidal, Triangular
+from ...fuzzy.variables import LinguisticVariable, Term
+
+__all__ = [
+    "FLC1Config",
+    "FLC2Config",
+    "DEFAULT_FLC1_CONFIG",
+    "DEFAULT_FLC2_CONFIG",
+    "SPEED_UNIVERSE",
+    "ANGLE_UNIVERSE",
+    "DISTANCE_UNIVERSE",
+    "CORRECTION_UNIVERSE",
+    "REQUEST_UNIVERSE",
+    "DECISION_UNIVERSE",
+]
+
+SPEED_UNIVERSE = (0.0, 120.0)
+ANGLE_UNIVERSE = (-180.0, 180.0)
+DISTANCE_UNIVERSE = (0.0, 10.0)
+CORRECTION_UNIVERSE = (0.0, 1.0)
+REQUEST_UNIVERSE = (0.0, 10.0)
+DECISION_UNIVERSE = (-1.0, 1.0)
+
+
+@dataclass(frozen=True)
+class FLC1Config:
+    """Numeric break points of the FLC1 membership functions (Fig. 5).
+
+    Speed terms are (Sl, M, Fa); the break points follow the km/h marks
+    visible on Fig. 5(a): 0, 15, 30, 60, 120.  The Slow plateau is kept
+    narrow (0–5 km/h) because Fig. 7 of the paper distinguishes 4 km/h from
+    10 km/h walking users — with a wide plateau the two would be fuzzified
+    identically and the curves would coincide.  Angle terms follow Fig. 5(b)
+    with marks every 45°.  Distance terms are the two ramps of Fig. 5(c).
+    The correction-value output uses nine evenly spaced terms on [0, 1]
+    (Fig. 5(d)).
+    """
+
+    speed_universe: tuple[float, float] = SPEED_UNIVERSE
+    angle_universe: tuple[float, float] = ANGLE_UNIVERSE
+    distance_universe: tuple[float, float] = DISTANCE_UNIVERSE
+    correction_universe: tuple[float, float] = CORRECTION_UNIVERSE
+
+    # Speed break points (km/h)
+    speed_slow_plateau: float = 5.0
+    speed_slow_foot: float = 30.0
+    speed_middle_peak: float = 30.0
+    speed_middle_right_foot: float = 60.0
+    speed_fast_rise: float = 30.0
+    speed_fast_plateau: float = 60.0
+
+    # Angle break points (degrees)
+    angle_marks: tuple[float, ...] = (-180.0, -135.0, -90.0, -45.0, 0.0, 45.0, 90.0, 135.0, 180.0)
+
+    # Output resolution of the correction-value term fan
+    correction_terms: int = 9
+    resolution: int = 501
+
+    # ------------------------------------------------------------------
+    def speed_variable(self) -> LinguisticVariable:
+        """T(S) = {Slow, Middle, Fast} (Fig. 5a)."""
+        lo, hi = self.speed_universe
+        return LinguisticVariable(
+            "S",
+            self.speed_universe,
+            [
+                Term("Sl", Trapezoidal(lo, lo, self.speed_slow_plateau, self.speed_slow_foot)),
+                Term(
+                    "M",
+                    Triangular(
+                        self.speed_slow_plateau,
+                        self.speed_middle_peak,
+                        self.speed_middle_right_foot,
+                    ),
+                ),
+                Term("Fa", Trapezoidal(self.speed_fast_rise, self.speed_fast_plateau, hi, hi)),
+            ],
+            resolution=self.resolution,
+        )
+
+    def angle_variable(self) -> LinguisticVariable:
+        """T(A) = {B1, L1, L2, St, R1, R2, B2} (Fig. 5b).
+
+        The seven terms sit on the marks −180/−135, −90, −45, 0, 45, 90 and
+        135/180 degrees; B1 and B2 are the trapezoidal "moving away" shoulders.
+        """
+        m = self.angle_marks
+        return LinguisticVariable(
+            "A",
+            self.angle_universe,
+            [
+                Term("B1", Trapezoidal(m[0], m[0], m[1], m[2])),
+                Term("L1", Triangular(m[1], m[2], m[3])),
+                Term("L2", Triangular(m[2], m[3], m[4])),
+                Term("St", Triangular(m[3], m[4], m[5])),
+                Term("R1", Triangular(m[4], m[5], m[6])),
+                Term("R2", Triangular(m[5], m[6], m[7])),
+                Term("B2", Trapezoidal(m[6], m[7], m[8], m[8])),
+            ],
+            resolution=self.resolution,
+        )
+
+    def distance_variable(self) -> LinguisticVariable:
+        """T(D) = {Near, Far} (Fig. 5c)."""
+        lo, hi = self.distance_universe
+        return LinguisticVariable(
+            "D",
+            self.distance_universe,
+            [
+                Term("N", Triangular(lo, lo, hi)),
+                Term("F", Triangular(lo, hi, hi)),
+            ],
+            resolution=self.resolution,
+        )
+
+    def correction_variable(self) -> LinguisticVariable:
+        """T(Cv) = {Cv1 ... Cv9}, nine evenly spaced terms on [0, 1] (Fig. 5d)."""
+        lo, hi = self.correction_universe
+        count = self.correction_terms
+        if count < 3:
+            raise ValueError(f"correction_terms must be at least 3, got {count}")
+        step = (hi - lo) / (count - 1)
+        terms: list[Term] = []
+        for index in range(count):
+            center = lo + index * step
+            name = f"Cv{index + 1}"
+            if index == 0:
+                terms.append(Term(name, Trapezoidal(lo, lo, lo, lo + step)))
+            elif index == count - 1:
+                terms.append(Term(name, Trapezoidal(hi - step, hi, hi, hi)))
+            else:
+                terms.append(Term(name, Triangular(center - step, center, center + step)))
+        return LinguisticVariable("Cv", self.correction_universe, terms, resolution=self.resolution)
+
+
+@dataclass(frozen=True)
+class FLC2Config:
+    """Numeric break points of the FLC2 membership functions (Fig. 6)."""
+
+    correction_universe: tuple[float, float] = CORRECTION_UNIVERSE
+    request_universe: tuple[float, float] = REQUEST_UNIVERSE
+    counter_universe: tuple[float, float] = (0.0, float(PAPER_BANDWIDTH_UNITS))
+    decision_universe: tuple[float, float] = DECISION_UNIVERSE
+
+    # Request break points in BU (Fig. 6b: Text 1, Voice 5, Video 10)
+    request_voice_peak: float = 5.0
+
+    resolution: int = 501
+
+    # ------------------------------------------------------------------
+    def correction_variable(self) -> LinguisticVariable:
+        """T(Cv) = {Bad, Normal, Good} (Fig. 6a)."""
+        lo, hi = self.correction_universe
+        mid = 0.5 * (lo + hi)
+        return LinguisticVariable(
+            "Cv",
+            self.correction_universe,
+            [
+                Term("B", Triangular(lo, lo, mid)),
+                Term("N", Triangular(lo, mid, hi)),
+                Term("G", Triangular(mid, hi, hi)),
+            ],
+            resolution=self.resolution,
+        )
+
+    def request_variable(self) -> LinguisticVariable:
+        """T(R) = {Text, Voice, Video} (Fig. 6b), in bandwidth units."""
+        lo, hi = self.request_universe
+        peak = self.request_voice_peak
+        return LinguisticVariable(
+            "R",
+            self.request_universe,
+            [
+                Term("T", Triangular(lo, lo, peak)),
+                Term("Vo", Triangular(lo, peak, hi)),
+                Term("Vi", Triangular(peak, hi, hi)),
+            ],
+            resolution=self.resolution,
+        )
+
+    def counter_variable(self) -> LinguisticVariable:
+        """T(Cs) = {Small, Middle, Full} (Fig. 6c), in bandwidth units."""
+        lo, hi = self.counter_universe
+        mid = 0.5 * (lo + hi)
+        return LinguisticVariable(
+            "Cs",
+            self.counter_universe,
+            [
+                Term("S", Triangular(lo, lo, mid)),
+                Term("M", Triangular(lo, mid, hi)),
+                Term("F", Triangular(mid, hi, hi)),
+            ],
+            resolution=self.resolution,
+        )
+
+    def decision_variable(self) -> LinguisticVariable:
+        """T(A/R) = {R, WR, NRNA, WA, A} (Fig. 6d).
+
+        The variable is named ``AR`` (rules cannot contain a ``/``).  The end
+        terms R and A are trapezoidal per Section 3.2; the middle terms are
+        triangular.
+        """
+        lo, hi = self.decision_universe
+        half = 0.5 * (hi - lo) / 2.0  # 0.5 for the default [-1, 1] universe
+        return LinguisticVariable(
+            "AR",
+            self.decision_universe,
+            [
+                Term("R", Trapezoidal(lo, lo, lo, lo + half)),
+                Term("WR", Triangular(lo, lo + half, 0.5 * (lo + hi))),
+                Term("NRNA", Triangular(lo + half, 0.5 * (lo + hi), hi - half)),
+                Term("WA", Triangular(0.5 * (lo + hi), hi - half, hi)),
+                Term("A", Trapezoidal(hi - half, hi, hi, hi)),
+            ],
+            resolution=self.resolution,
+        )
+
+
+DEFAULT_FLC1_CONFIG = FLC1Config()
+DEFAULT_FLC2_CONFIG = FLC2Config()

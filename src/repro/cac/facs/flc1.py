@@ -1,0 +1,91 @@
+"""FLC1 — the fuzzy mobility-prediction controller (Section 3.1).
+
+Inputs: user Speed ``S`` (km/h), user Angle ``A`` (degrees, relative to the
+bearing towards the base station) and Distance ``D`` between user and BS
+(km).  Output: Correction value ``Cv ∈ [0, 1]`` expressing how favourable
+the user's predicted trajectory is — 1 for a fast user heading straight at a
+nearby BS, 0 for a user heading away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...cellular.mobility import UserState
+from ...fuzzy.controller import FuzzyController
+from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
+from ...fuzzy.inference import InferenceResult
+from .config import DEFAULT_FLC1_CONFIG, FLC1Config
+from .frb1 import frb1_rules
+
+__all__ = ["FLC1", "CorrectionResult"]
+
+
+@dataclass(frozen=True)
+class CorrectionResult:
+    """FLC1 output with diagnostics."""
+
+    correction_value: float
+    dominant_rule: str
+    inputs: UserState
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.correction_value <= 1.0:
+            raise ValueError(
+                f"correction value must lie in [0, 1], got {self.correction_value}"
+            )
+
+
+class FLC1:
+    """The mobility-prediction fuzzy controller of the FACS system."""
+
+    def __init__(
+        self,
+        config: FLC1Config = DEFAULT_FLC1_CONFIG,
+        defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
+    ):
+        self._config = config
+        self._controller = FuzzyController(
+            name="FLC1",
+            inputs=[
+                config.speed_variable(),
+                config.angle_variable(),
+                config.distance_variable(),
+            ],
+            outputs=[config.correction_variable()],
+            rules=frb1_rules(),
+            defuzzifier=defuzzifier,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> FLC1Config:
+        return self._config
+
+    @property
+    def controller(self) -> FuzzyController:
+        """The underlying generic fuzzy controller (for introspection/tests)."""
+        return self._controller
+
+    @property
+    def rule_count(self) -> int:
+        return len(self._controller.rule_base)
+
+    # ------------------------------------------------------------------
+    def correction_value(
+        self, speed_kmh: float, angle_deg: float, distance_km: float
+    ) -> float:
+        """Compute Cv for raw crisp inputs (clamped to their universes)."""
+        return self._controller.compute(S=speed_kmh, A=angle_deg, D=distance_km)
+
+    def evaluate(self, user: UserState) -> CorrectionResult:
+        """Compute Cv for a :class:`UserState`, with rule diagnostics."""
+        result: InferenceResult = self._controller.evaluate(
+            S=user.speed_kmh, A=user.angle_deg, D=user.distance_km
+        )
+        dominant = result.dominant_rule()
+        return CorrectionResult(
+            correction_value=min(max(result["Cv"], 0.0), 1.0),
+            dominant_rule=dominant.rule.label,
+            inputs=user,
+        )

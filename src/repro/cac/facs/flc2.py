@@ -1,0 +1,117 @@
+"""FLC2 — the fuzzy admission-decision controller (Section 3.2).
+
+Inputs: the correction value ``Cv`` produced by FLC1, the requested bandwidth
+``R`` (in BU — 1 for text, 5 for voice, 10 for video) and the counter state
+``Cs`` (total BU in use at the base station).  Output: the soft
+accept/reject value ``A/R ∈ [-1, 1]`` whose linguistic terms are
+{Reject, Weak Reject, Not-Reject-Not-Accept, Weak Accept, Accept}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...fuzzy.controller import FuzzyController
+from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
+from ...fuzzy.inference import InferenceResult
+from ..base import DecisionOutcome
+from .config import DEFAULT_FLC2_CONFIG, FLC2Config
+from .frb2 import frb2_rules
+
+__all__ = ["FLC2", "DecisionResult"]
+
+
+@dataclass(frozen=True)
+class DecisionResult:
+    """FLC2 output with diagnostics."""
+
+    score: float
+    outcome: str
+    dominant_rule: str
+    correction_value: float
+    request_bu: float
+    counter_state_bu: float
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.score <= 1.0:
+            raise ValueError(f"decision score must lie in [-1, 1], got {self.score}")
+        if self.outcome not in DecisionOutcome.ORDERED:
+            raise ValueError(f"unknown outcome {self.outcome!r}")
+
+
+class FLC2:
+    """The admission-decision fuzzy controller of the FACS system."""
+
+    def __init__(
+        self,
+        config: FLC2Config = DEFAULT_FLC2_CONFIG,
+        defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
+    ):
+        self._config = config
+        self._controller = FuzzyController(
+            name="FLC2",
+            inputs=[
+                config.correction_variable(),
+                config.request_variable(),
+                config.counter_variable(),
+            ],
+            outputs=[config.decision_variable()],
+            rules=frb2_rules(),
+            defuzzifier=defuzzifier,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> FLC2Config:
+        return self._config
+
+    @property
+    def controller(self) -> FuzzyController:
+        return self._controller
+
+    @property
+    def rule_count(self) -> int:
+        return len(self._controller.rule_base)
+
+    # ------------------------------------------------------------------
+    def decision_score(
+        self, correction_value: float, request_bu: float, counter_state_bu: float
+    ) -> float:
+        """Defuzzified A/R score in [-1, 1] for raw crisp inputs."""
+        return self._controller.compute(
+            Cv=correction_value, R=request_bu, Cs=counter_state_bu
+        )
+
+    def evaluate(
+        self, correction_value: float, request_bu: float, counter_state_bu: float
+    ) -> DecisionResult:
+        """Full soft decision for the given inputs, with diagnostics."""
+        result: InferenceResult = self._controller.evaluate(
+            Cv=correction_value, R=request_bu, Cs=counter_state_bu
+        )
+        score = min(max(result["AR"], -1.0), 1.0)
+        return DecisionResult(
+            score=score,
+            outcome=self.classify_score(score),
+            dominant_rule=result.dominant_rule().rule.label,
+            correction_value=correction_value,
+            request_bu=request_bu,
+            counter_state_bu=counter_state_bu,
+        )
+
+    @staticmethod
+    def classify_score(score: float) -> str:
+        """Map a crisp A/R score to the nearest linguistic outcome.
+
+        The five terms are centred at −1, −0.5, 0, 0.5 and 1; the midpoints
+        between adjacent centres are the classification boundaries.
+        """
+        if score <= -0.75:
+            return DecisionOutcome.REJECT
+        if score <= -0.25:
+            return DecisionOutcome.WEAK_REJECT
+        if score < 0.25:
+            return DecisionOutcome.NEUTRAL
+        if score < 0.75:
+            return DecisionOutcome.WEAK_ACCEPT
+        return DecisionOutcome.ACCEPT

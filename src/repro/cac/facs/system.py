@@ -1,0 +1,149 @@
+"""FACS — the Fuzzy Admission Control System (the paper's contribution).
+
+The system cascades the two controllers of Fig. 4:
+
+1. **FLC1** turns the GPS observation of the requesting user (speed, angle,
+   distance) into a correction value ``Cv``;
+2. **FLC2** combines ``Cv`` with the requested bandwidth ``R`` and the
+   counter state ``Cs`` (base-station occupancy) into the soft accept/reject
+   score ``A/R``;
+3. the **Differentiated service** block routes admitted calls into the
+   Real-Time / Non-Real-Time counters (RTC / NRTC).
+
+The crisp admission decision accepts a call when the defuzzified A/R score
+exceeds ``acceptance_threshold`` *and* the base station physically has the
+requested bandwidth available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...cellular.calls import Call
+from ...cellular.cell import BaseStation
+from ...cellular.mobility import UserState
+from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
+from ..base import AdmissionController, AdmissionDecision
+from ..counters import ServiceCounters
+from .config import DEFAULT_FLC1_CONFIG, DEFAULT_FLC2_CONFIG, FLC1Config, FLC2Config
+from .flc1 import FLC1
+from .flc2 import FLC2
+
+__all__ = ["FACSConfig", "FuzzyAdmissionControlSystem"]
+
+#: Correction value assumed when a request carries no GPS observation.
+_NEUTRAL_CORRECTION = 0.5
+
+
+@dataclass(frozen=True)
+class FACSConfig:
+    """Tunable parameters of the FACS controller."""
+
+    flc1: FLC1Config = DEFAULT_FLC1_CONFIG
+    flc2: FLC2Config = DEFAULT_FLC2_CONFIG
+    #: Minimum defuzzified A/R score for acceptance.  The default 0 accepts
+    #: "weak accept" and above, mirroring the paper's soft decision scale.
+    acceptance_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.acceptance_threshold <= 1.0:
+            raise ValueError(
+                f"acceptance_threshold must lie in [-1, 1], got {self.acceptance_threshold}"
+            )
+
+
+class FuzzyAdmissionControlSystem(AdmissionController):
+    """The paper's FACS admission controller."""
+
+    name = "FACS"
+
+    def __init__(
+        self,
+        config: FACSConfig | None = None,
+        defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
+    ):
+        self._config = config or FACSConfig()
+        self._flc1 = FLC1(self._config.flc1, defuzzifier=defuzzifier)
+        self._flc2 = FLC2(self._config.flc2, defuzzifier=defuzzifier)
+        capacity = int(self._config.flc2.counter_universe[1])
+        self._counters = ServiceCounters(capacity_bu=capacity)
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> FACSConfig:
+        return self._config
+
+    @property
+    def flc1(self) -> FLC1:
+        return self._flc1
+
+    @property
+    def flc2(self) -> FLC2:
+        return self._flc2
+
+    @property
+    def counters(self) -> ServiceCounters:
+        """The Ds/RTC/NRTC counters tracking calls admitted by this controller."""
+        return self._counters
+
+    # ------------------------------------------------------------------
+    def correction_value(self, user: UserState | None) -> float:
+        """FLC1 stage: correction value for a user observation.
+
+        Requests with no GPS observation (e.g. fixed terminals) get a neutral
+        correction value so FLC2 decides on bandwidth and occupancy alone.
+        """
+        if user is None:
+            return _NEUTRAL_CORRECTION
+        return self._flc1.evaluate(user.clamped()).correction_value
+
+    def decide(self, call: Call, station: BaseStation, now: float) -> AdmissionDecision:
+        """The cascaded FLC1 → FLC2 admission decision."""
+        correction = self.correction_value(call.user_state)
+        counter_state = float(station.used_bu)
+        decision = self._flc2.evaluate(
+            correction_value=correction,
+            request_bu=float(call.bandwidth_units),
+            counter_state_bu=counter_state,
+        )
+        fits = station.can_fit(call.bandwidth_units)
+        accepted = decision.score > self._config.acceptance_threshold and fits
+        if not fits:
+            reason = (
+                f"insufficient bandwidth: need {call.bandwidth_units} BU, "
+                f"{station.free_bu} BU free"
+            )
+        elif accepted:
+            reason = (
+                f"A/R score {decision.score:+.3f} above threshold "
+                f"{self._config.acceptance_threshold:+.3f}"
+            )
+        else:
+            reason = (
+                f"A/R score {decision.score:+.3f} at or below threshold "
+                f"{self._config.acceptance_threshold:+.3f}"
+            )
+        return AdmissionDecision(
+            accepted=accepted,
+            score=decision.score,
+            outcome=decision.outcome,
+            reason=reason,
+            diagnostics={
+                "correction_value": correction,
+                "counter_state_bu": counter_state,
+                "request_bu": float(call.bandwidth_units),
+                "free_bu": float(station.free_bu),
+            },
+        )
+
+    # -- lifecycle -------------------------------------------------------
+    def on_admitted(self, call: Call, station: BaseStation, now: float) -> None:
+        if not self._counters.is_tracking(call):
+            self._counters.admit(call)
+
+    def on_released(self, call: Call, station: BaseStation, now: float) -> None:
+        if self._counters.is_tracking(call):
+            self._counters.release(call)
+
+    def reset(self) -> None:
+        self._counters.reset()

@@ -1,0 +1,96 @@
+"""Fractional Guard Channel admission control.
+
+A randomised refinement of the guard-channel policy: above a soft threshold,
+new calls are admitted only with a probability that decreases linearly with
+occupancy, reaching zero at the hard limit.  Handoff calls are always
+admitted when they fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cellular.calls import Call, CallType
+from ..cellular.cell import BaseStation
+from ..des.rng import RandomStream
+from .base import AdmissionController, AdmissionDecision, DecisionOutcome
+
+__all__ = ["FractionalGuardConfig", "FractionalGuardController"]
+
+
+@dataclass(frozen=True)
+class FractionalGuardConfig:
+    """Configuration of the fractional guard-channel policy."""
+
+    #: Occupancy (BU) below which every new call is admitted if it fits.
+    soft_threshold_bu: int = 25
+    #: Occupancy (BU) at and above which no new call is admitted.
+    hard_threshold_bu: int = 38
+
+    def __post_init__(self) -> None:
+        if self.soft_threshold_bu < 0:
+            raise ValueError(
+                f"soft_threshold_bu must be non-negative, got {self.soft_threshold_bu}"
+            )
+        if self.hard_threshold_bu <= self.soft_threshold_bu:
+            raise ValueError(
+                f"hard_threshold_bu ({self.hard_threshold_bu}) must exceed "
+                f"soft_threshold_bu ({self.soft_threshold_bu})"
+            )
+
+
+class FractionalGuardController(AdmissionController):
+    """Probabilistically thin new calls as the occupancy approaches capacity."""
+
+    name = "FractionalGuard"
+
+    def __init__(
+        self,
+        config: FractionalGuardConfig | None = None,
+        rng: RandomStream | None = None,
+    ):
+        self._config = config or FractionalGuardConfig()
+        self._rng = rng or RandomStream("fractional-guard", seed=20070613)
+
+    @property
+    def config(self) -> FractionalGuardConfig:
+        return self._config
+
+    def admission_probability(self, occupancy_bu: float) -> float:
+        """Probability of admitting a new call at the given occupancy."""
+        soft = self._config.soft_threshold_bu
+        hard = self._config.hard_threshold_bu
+        if occupancy_bu <= soft:
+            return 1.0
+        if occupancy_bu >= hard:
+            return 0.0
+        return (hard - occupancy_bu) / (hard - soft)
+
+    def decide(self, call: Call, station: BaseStation, now: float) -> AdmissionDecision:
+        fits = station.can_fit(call.bandwidth_units)
+        probability = 1.0
+        if call.call_type is CallType.HANDOFF:
+            accepted = fits
+        else:
+            probability = self.admission_probability(station.used_bu)
+            accepted = fits and self._rng.bernoulli(probability)
+
+        if not fits:
+            reason = (
+                f"insufficient bandwidth: need {call.bandwidth_units} BU, "
+                f"{station.free_bu} BU free"
+            )
+        elif accepted:
+            reason = f"admitted with probability {probability:.2f} at {station.used_bu} BU occupancy"
+        else:
+            reason = f"thinned with probability {1 - probability:.2f} at {station.used_bu} BU occupancy"
+        return AdmissionDecision(
+            accepted=accepted,
+            score=2.0 * probability - 1.0,
+            outcome=DecisionOutcome.ACCEPT if accepted else DecisionOutcome.REJECT,
+            reason=reason,
+            diagnostics={
+                "admission_probability": probability,
+                "used_bu": float(station.used_bu),
+            },
+        )

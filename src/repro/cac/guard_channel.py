@@ -1,0 +1,74 @@
+"""Guard Channel (cutoff priority) admission control.
+
+The classic handoff-prioritising scheme referenced throughout the CAC
+literature the paper surveys: a number of bandwidth units are set aside as
+*guard* capacity that only handoff calls may use; new calls are admitted only
+while the occupancy stays below ``capacity - guard``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cellular.calls import Call, CallType
+from ..cellular.cell import BaseStation
+from .base import AdmissionController, AdmissionDecision, DecisionOutcome
+
+__all__ = ["GuardChannelConfig", "GuardChannelController"]
+
+
+@dataclass(frozen=True)
+class GuardChannelConfig:
+    """Configuration of the guard-channel policy."""
+
+    guard_bu: int = 5
+
+    def __post_init__(self) -> None:
+        if self.guard_bu < 0:
+            raise ValueError(f"guard_bu must be non-negative, got {self.guard_bu}")
+
+
+class GuardChannelController(AdmissionController):
+    """Reserve ``guard_bu`` bandwidth units exclusively for handoff calls."""
+
+    name = "GuardChannel"
+
+    def __init__(self, config: GuardChannelConfig | None = None):
+        self._config = config or GuardChannelConfig()
+
+    @property
+    def config(self) -> GuardChannelConfig:
+        return self._config
+
+    def decide(self, call: Call, station: BaseStation, now: float) -> AdmissionDecision:
+        fits = station.can_fit(call.bandwidth_units)
+        if call.call_type is CallType.HANDOFF:
+            accepted = fits
+            limit = station.capacity_bu
+        else:
+            limit = station.capacity_bu - self._config.guard_bu
+            accepted = fits and (station.used_bu + call.bandwidth_units) <= limit
+
+        if accepted:
+            reason = f"admitted within limit {limit} BU ({call.call_type.value} call)"
+        elif not fits:
+            reason = (
+                f"insufficient bandwidth: need {call.bandwidth_units} BU, "
+                f"{station.free_bu} BU free"
+            )
+        else:
+            reason = (
+                f"new call blocked by guard capacity: occupancy {station.used_bu} BU + "
+                f"{call.bandwidth_units} BU exceeds limit {limit} BU"
+            )
+        headroom = limit - station.used_bu - call.bandwidth_units
+        return AdmissionDecision(
+            accepted=accepted,
+            score=max(-1.0, min(1.0, headroom / station.capacity_bu)),
+            outcome=DecisionOutcome.ACCEPT if accepted else DecisionOutcome.REJECT,
+            reason=reason,
+            diagnostics={
+                "guard_bu": float(self._config.guard_bu),
+                "used_bu": float(station.used_bu),
+            },
+        )

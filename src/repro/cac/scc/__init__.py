@@ -1,0 +1,16 @@
+"""Shadow Cluster Concept (SCC) baseline admission controller."""
+
+from .projection import ProjectionConfig, ResidencyProjection, expected_exit_time_s, project_residency
+from .demand import DemandEstimator, DemandProfile
+from .system import SCCConfig, ShadowClusterController
+
+__all__ = [
+    "ProjectionConfig",
+    "ResidencyProjection",
+    "project_residency",
+    "expected_exit_time_s",
+    "DemandEstimator",
+    "DemandProfile",
+    "SCCConfig",
+    "ShadowClusterController",
+]

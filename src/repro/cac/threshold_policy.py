@@ -1,0 +1,99 @@
+"""Multi-Priority Threshold admission control.
+
+The paper's related work (Bartolini & Chlamtac, PIMRC 2002) shows that, under
+some assumptions, the optimal CAC policy for a heterogeneous multi-class
+system has the shape of a multi-priority threshold policy: each service class
+is admitted only while the occupancy is below a class-specific threshold, so
+wide calls are cut off earlier than narrow ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cellular.calls import Call, CallType
+from ..cellular.cell import BaseStation
+from ..cellular.traffic import PAPER_BANDWIDTH_UNITS, ServiceClass
+from .base import AdmissionController, AdmissionDecision, DecisionOutcome
+
+__all__ = ["ThresholdPolicyConfig", "ThresholdPolicyController"]
+
+
+def _default_thresholds() -> dict[ServiceClass, int]:
+    # Text keeps nearly the whole pool, voice slightly less, video least —
+    # reflecting that wide calls displace many narrow ones.
+    return {
+        ServiceClass.TEXT: PAPER_BANDWIDTH_UNITS - 2,
+        ServiceClass.VOICE: PAPER_BANDWIDTH_UNITS - 6,
+        ServiceClass.VIDEO: PAPER_BANDWIDTH_UNITS - 12,
+    }
+
+
+@dataclass(frozen=True)
+class ThresholdPolicyConfig:
+    """Per-class occupancy thresholds (in BU) for new-call admission."""
+
+    thresholds_bu: dict[ServiceClass, int] = field(default_factory=_default_thresholds)
+
+    def __post_init__(self) -> None:
+        if not self.thresholds_bu:
+            raise ValueError("at least one class threshold is required")
+        for service, threshold in self.thresholds_bu.items():
+            if threshold < 0:
+                raise ValueError(
+                    f"threshold for {service.value} must be non-negative, got {threshold}"
+                )
+
+    def threshold_for(self, service: ServiceClass) -> int:
+        try:
+            return self.thresholds_bu[service]
+        except KeyError:
+            raise KeyError(f"no threshold configured for service class {service.value}") from None
+
+
+class ThresholdPolicyController(AdmissionController):
+    """Admit new calls of a class only below that class's occupancy threshold."""
+
+    name = "Threshold"
+
+    def __init__(self, config: ThresholdPolicyConfig | None = None):
+        self._config = config or ThresholdPolicyConfig()
+
+    @property
+    def config(self) -> ThresholdPolicyConfig:
+        return self._config
+
+    def decide(self, call: Call, station: BaseStation, now: float) -> AdmissionDecision:
+        fits = station.can_fit(call.bandwidth_units)
+        if call.call_type is CallType.HANDOFF:
+            accepted = fits
+            threshold = station.capacity_bu
+        else:
+            threshold = self._config.threshold_for(call.service)
+            accepted = fits and (station.used_bu + call.bandwidth_units) <= threshold
+
+        if accepted:
+            reason = (
+                f"{call.service.value} call admitted below its threshold {threshold} BU"
+            )
+        elif not fits:
+            reason = (
+                f"insufficient bandwidth: need {call.bandwidth_units} BU, "
+                f"{station.free_bu} BU free"
+            )
+        else:
+            reason = (
+                f"{call.service.value} call blocked: occupancy {station.used_bu} BU + "
+                f"{call.bandwidth_units} BU exceeds class threshold {threshold} BU"
+            )
+        headroom = threshold - station.used_bu - call.bandwidth_units
+        return AdmissionDecision(
+            accepted=accepted,
+            score=max(-1.0, min(1.0, headroom / station.capacity_bu)),
+            outcome=DecisionOutcome.ACCEPT if accepted else DecisionOutcome.REJECT,
+            reason=reason,
+            diagnostics={
+                "class_threshold_bu": float(threshold),
+                "used_bu": float(station.used_bu),
+            },
+        )

@@ -1,0 +1,147 @@
+"""Call records and lifecycle states.
+
+A :class:`Call` represents one connection request and its subsequent life in
+the network: it is requested, admitted or blocked, possibly handed off
+between cells, and finally completes or is dropped.  The metrics layer
+(:mod:`repro.cellular.metrics`) consumes these records to compute the
+percentage-of-accepted-calls series of Figs. 7–10 and the blocking/dropping
+probabilities of the integration experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from .mobility import UserState
+from .traffic import ServiceClass
+
+__all__ = ["CallType", "CallState", "Call", "CallEvent"]
+
+_call_ids = itertools.count(1)
+
+
+class CallType(enum.Enum):
+    """Origin of a connection request at a cell."""
+
+    NEW = "new"
+    HANDOFF = "handoff"
+
+
+class CallState(enum.Enum):
+    """Lifecycle of a call."""
+
+    REQUESTED = "requested"
+    ACTIVE = "active"
+    BLOCKED = "blocked"
+    COMPLETED = "completed"
+    DROPPED = "dropped"
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """One timestamped transition in a call's history."""
+
+    time: float
+    description: str
+    cell_id: int | None = None
+
+
+@dataclass
+class Call:
+    """A connection request and its lifecycle.
+
+    Attributes
+    ----------
+    service:
+        Service class (text / voice / video).
+    bandwidth_units:
+        Bandwidth demand in BU (1 / 5 / 10 for the paper's classes).
+    call_type:
+        Whether the request is a new call or an incoming handoff.
+    user_state:
+        GPS observation (speed, angle, distance) at request time.
+    """
+
+    service: ServiceClass
+    bandwidth_units: int
+    call_type: CallType = CallType.NEW
+    user_state: UserState | None = None
+    requested_at: float = 0.0
+    holding_time_s: float = 0.0
+    call_id: int = field(default_factory=lambda: next(_call_ids))
+    state: CallState = CallState.REQUESTED
+    serving_cell_id: int | None = None
+    handoff_count: int = 0
+    history: list[CallEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_units <= 0:
+            raise ValueError(
+                f"bandwidth_units must be positive, got {self.bandwidth_units}"
+            )
+        if self.holding_time_s < 0:
+            raise ValueError(
+                f"holding_time_s must be non-negative, got {self.holding_time_s}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_real_time(self) -> bool:
+        return self.service.is_real_time
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state in (CallState.BLOCKED, CallState.COMPLETED, CallState.DROPPED)
+
+    def record(self, time: float, description: str, cell_id: int | None = None) -> None:
+        """Append an event to the call history."""
+        self.history.append(CallEvent(time=time, description=description, cell_id=cell_id))
+
+    # -- state transitions ----------------------------------------------
+    def admit(self, time: float, cell_id: int) -> None:
+        """Mark the call as admitted and active in a serving cell."""
+        self._require_state(CallState.REQUESTED, "admit")
+        self.state = CallState.ACTIVE
+        self.serving_cell_id = cell_id
+        self.record(time, "admitted", cell_id)
+
+    def block(self, time: float, cell_id: int | None = None) -> None:
+        """Mark the call as blocked (rejected at admission)."""
+        self._require_state(CallState.REQUESTED, "block")
+        self.state = CallState.BLOCKED
+        self.record(time, "blocked", cell_id)
+
+    def complete(self, time: float) -> None:
+        """Mark the call as completed normally."""
+        self._require_state(CallState.ACTIVE, "complete")
+        self.state = CallState.COMPLETED
+        self.record(time, "completed", self.serving_cell_id)
+
+    def drop(self, time: float, reason: str = "handoff failure") -> None:
+        """Mark the call as dropped mid-service."""
+        self._require_state(CallState.ACTIVE, "drop")
+        self.state = CallState.DROPPED
+        self.record(time, f"dropped: {reason}", self.serving_cell_id)
+
+    def handoff(self, time: float, new_cell_id: int) -> None:
+        """Record a successful handoff to a new serving cell."""
+        self._require_state(CallState.ACTIVE, "handoff")
+        old = self.serving_cell_id
+        self.serving_cell_id = new_cell_id
+        self.handoff_count += 1
+        self.record(time, f"handoff from cell {old}", new_cell_id)
+
+    def _require_state(self, expected: CallState, action: str) -> None:
+        if self.state is not expected:
+            raise ValueError(
+                f"cannot {action} call {self.call_id}: state is {self.state.value}, "
+                f"expected {expected.value}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Call(id={self.call_id}, {self.service.value}, {self.bandwidth_units}BU, "
+            f"{self.call_type.value}, state={self.state.value})"
+        )

@@ -1,0 +1,179 @@
+"""Planar geometry and hexagonal cell layout for the cellular substrate.
+
+The paper's simulation uses users characterised by speed, heading angle and
+distance from the base station; the multi-cell integration experiments
+additionally need a cell layout.  We use the standard hexagonal tessellation
+with axial coordinates, which gives every interior cell exactly six
+neighbours — the geometry the Shadow Cluster Concept paper assumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Point", "Vector", "HexCoordinate", "hex_ring", "hex_spiral", "heading_between"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the plane (kilometres)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translate(self, vector: "Vector") -> "Point":
+        return Point(self.x + vector.dx, self.y + vector.dy)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True)
+class Vector:
+    """A displacement in the plane (kilometres)."""
+
+    dx: float
+    dy: float
+
+    @classmethod
+    def from_polar(cls, magnitude: float, angle_degrees: float) -> "Vector":
+        """Build a vector from a magnitude and a compass-style heading.
+
+        Headings follow the paper's convention: 0° points along the positive
+        x axis (towards the base station for the single-cell experiments),
+        positive angles rotate counter-clockwise, and the domain is
+        ``[-180°, 180°]``.
+        """
+        radians = math.radians(angle_degrees)
+        return cls(magnitude * math.cos(radians), magnitude * math.sin(radians))
+
+    @property
+    def magnitude(self) -> float:
+        return math.hypot(self.dx, self.dy)
+
+    @property
+    def angle_degrees(self) -> float:
+        """Heading of this vector in degrees, in ``(-180, 180]``."""
+        return math.degrees(math.atan2(self.dy, self.dx))
+
+    def scale(self, factor: float) -> "Vector":
+        return Vector(self.dx * factor, self.dy * factor)
+
+    def __add__(self, other: "Vector") -> "Vector":
+        return Vector(self.dx + other.dx, self.dy + other.dy)
+
+
+def heading_between(origin: Point, target: Point) -> float:
+    """Heading (degrees, ``(-180, 180]``) from ``origin`` towards ``target``."""
+    return Vector(target.x - origin.x, target.y - origin.y).angle_degrees
+
+
+def normalize_angle(angle_degrees: float) -> float:
+    """Wrap an angle into ``(-180, 180]`` degrees."""
+    wrapped = math.fmod(angle_degrees + 180.0, 360.0)
+    if wrapped < 0:
+        wrapped += 360.0
+    result = wrapped - 180.0
+    # fmod maps +180 to -180; keep the paper's closed upper bound.
+    if result == -180.0 and angle_degrees > 0:
+        return 180.0
+    return result
+
+
+def relative_angle(heading: float, bearing_to_target: float) -> float:
+    """Angle between a user's heading and the bearing towards a target.
+
+    0° means the user is heading straight at the target (the paper's
+    "Straight" term); ±180° means heading directly away ("Back").
+    """
+    return normalize_angle(heading - bearing_to_target)
+
+
+@dataclass(frozen=True)
+class HexCoordinate:
+    """Axial (q, r) coordinates of a hexagonal cell."""
+
+    q: int
+    r: int
+
+    @property
+    def s(self) -> int:
+        """Third cube coordinate (q + r + s == 0)."""
+        return -self.q - self.r
+
+    def neighbors(self) -> list["HexCoordinate"]:
+        """The six adjacent hexagons."""
+        return [
+            HexCoordinate(self.q + dq, self.r + dr)
+            for dq, dr in ((1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1))
+        ]
+
+    def distance_to(self, other: "HexCoordinate") -> int:
+        """Hex-grid (cube) distance in cells."""
+        return (
+            abs(self.q - other.q)
+            + abs(self.q + self.r - other.q - other.r)
+            + abs(self.r - other.r)
+        ) // 2
+
+    def to_point(self, cell_radius_km: float) -> Point:
+        """Centre of this hexagon for pointy-top hexes of the given radius."""
+        x = cell_radius_km * math.sqrt(3.0) * (self.q + self.r / 2.0)
+        y = cell_radius_km * 1.5 * self.r
+        return Point(x, y)
+
+    @staticmethod
+    def from_point(point: Point, cell_radius_km: float) -> "HexCoordinate":
+        """Hexagon containing a planar point (inverse of :meth:`to_point`)."""
+        q = (math.sqrt(3.0) / 3.0 * point.x - point.y / 3.0) / cell_radius_km
+        r = (2.0 / 3.0 * point.y) / cell_radius_km
+        return _hex_round(q, r)
+
+
+def _hex_round(q: float, r: float) -> HexCoordinate:
+    s = -q - r
+    rq, rr, rs = round(q), round(r), round(s)
+    q_diff, r_diff, s_diff = abs(rq - q), abs(rr - r), abs(rs - s)
+    if q_diff > r_diff and q_diff > s_diff:
+        rq = -rr - rs
+    elif r_diff > s_diff:
+        rr = -rq - rs
+    return HexCoordinate(int(rq), int(rr))
+
+
+def hex_ring(center: HexCoordinate, radius: int) -> list[HexCoordinate]:
+    """All hexagons at exactly ``radius`` cells from ``center``."""
+    if radius < 0:
+        raise ValueError(f"ring radius must be non-negative, got {radius}")
+    if radius == 0:
+        return [center]
+    results: list[HexCoordinate] = []
+    # Start radius steps in direction 4 (-1, 1) and walk around the ring.
+    current = HexCoordinate(center.q - radius, center.r + radius)
+    directions = ((1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1))
+    for direction in range(6):
+        for _ in range(radius):
+            results.append(current)
+            dq, dr = directions[direction]
+            current = HexCoordinate(current.q + dq, current.r + dr)
+    return results
+
+
+def hex_spiral(center: HexCoordinate, max_radius: int) -> list[HexCoordinate]:
+    """All hexagons within ``max_radius`` cells of ``center`` (spiral order).
+
+    ``max_radius=1`` yields the classic 7-cell cluster, ``max_radius=2`` the
+    19-cell layout used by the integration experiments.
+    """
+    if max_radius < 0:
+        raise ValueError(f"spiral radius must be non-negative, got {max_radius}")
+    cells = [center]
+    for radius in range(1, max_radius + 1):
+        cells.extend(hex_ring(center, radius))
+    return cells

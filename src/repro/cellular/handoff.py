@@ -1,0 +1,112 @@
+"""Handoff detection and execution.
+
+When a mobile terminal crosses a cell boundary, its active call must obtain
+bandwidth in the new cell; failure drops the call.  The handoff manager is
+deliberately controller-agnostic: it builds a handoff :class:`Call` request
+and delegates the decision to whatever admission controller the simulation is
+configured with, so FACS, SCC and the classic baselines are all exercised on
+the same handoff stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from .calls import Call, CallType
+from .cell import Cell
+from .mobility import MobileTerminal
+from .network import CellularNetwork
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cac.base import AdmissionController
+
+__all__ = ["HandoffOutcome", "HandoffManager"]
+
+
+@dataclass(frozen=True)
+class HandoffOutcome:
+    """Result of one handoff attempt."""
+
+    call: Call
+    source_cell: Cell
+    target_cell: Cell
+    accepted: bool
+    time: float
+
+
+class HandoffManager:
+    """Detects cell-boundary crossings and executes handoffs."""
+
+    def __init__(self, network: CellularNetwork, controller: "AdmissionController"):
+        self._network = network
+        self._controller = controller
+        self._outcomes: list[HandoffOutcome] = []
+
+    @property
+    def outcomes(self) -> list[HandoffOutcome]:
+        """Chronological list of handoff attempts and their results."""
+        return list(self._outcomes)
+
+    # ------------------------------------------------------------------
+    def needs_handoff(self, call: Call, terminal: MobileTerminal) -> Cell | None:
+        """Return the new serving cell if the terminal left its current cell.
+
+        Returns ``None`` when no handoff is needed or the terminal moved out
+        of coverage entirely (the caller decides whether that drops the call).
+        """
+        if call.serving_cell_id is None:
+            raise ValueError(f"call {call.call_id} has no serving cell")
+        new_cell = self._network.serving_cell(terminal.position)
+        if new_cell is None:
+            return None
+        if new_cell.cell_id == call.serving_cell_id:
+            return None
+        return new_cell
+
+    def attempt_handoff(
+        self,
+        call: Call,
+        terminal: MobileTerminal,
+        target_cell: Cell,
+        now: float,
+    ) -> HandoffOutcome:
+        """Try to move an active call into ``target_cell``.
+
+        On success the bandwidth is released in the old cell and allocated in
+        the new one; on failure the call is dropped and its bandwidth in the
+        old cell released.
+        """
+        source_cell = self._network.cell(call.serving_cell_id)  # type: ignore[arg-type]
+        handoff_request = Call(
+            service=call.service,
+            bandwidth_units=call.bandwidth_units,
+            call_type=CallType.HANDOFF,
+            user_state=terminal.observe(target_cell.base_station.position),
+            requested_at=now,
+            holding_time_s=call.holding_time_s,
+        )
+        decision = self._controller.decide(handoff_request, target_cell.base_station, now)
+
+        if decision.accepted:
+            source_cell.base_station.release(call)
+            target_cell.base_station.allocate(call)
+            call.handoff(now, target_cell.cell_id)
+            self._controller.on_admitted(handoff_request, target_cell.base_station, now)
+            self._controller.on_released(call, source_cell.base_station, now)
+            outcome = HandoffOutcome(call, source_cell, target_cell, True, now)
+        else:
+            source_cell.base_station.release(call)
+            call.drop(now, reason=f"handoff to cell {target_cell.cell_id} denied")
+            self._controller.on_released(call, source_cell.base_station, now)
+            outcome = HandoffOutcome(call, source_cell, target_cell, False, now)
+
+        self._outcomes.append(outcome)
+        return outcome
+
+    def handoff_acceptance_ratio(self) -> float:
+        """Fraction of attempted handoffs that succeeded."""
+        if not self._outcomes:
+            return 1.0
+        accepted = sum(1 for outcome in self._outcomes if outcome.accepted)
+        return accepted / len(self._outcomes)

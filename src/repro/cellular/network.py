@@ -1,0 +1,169 @@
+"""The multi-cell cellular network.
+
+Builds a hexagonal layout of :class:`~repro.cellular.cell.Cell` objects,
+maintains the neighbour graph (via ``networkx``) and maps mobile-terminal
+positions to serving cells.  The Shadow Cluster Concept baseline also queries
+the network for the cells along a mobile's projected trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from .cell import Cell
+from .geometry import HexCoordinate, Point, Vector, hex_spiral
+from .traffic import PAPER_BANDWIDTH_UNITS
+
+__all__ = ["CellularNetwork"]
+
+
+class CellularNetwork:
+    """A hexagonal cellular network with a neighbour graph.
+
+    Parameters
+    ----------
+    rings:
+        Number of hexagon rings around the central cell (0 = single cell,
+        1 = 7 cells, 2 = 19 cells).
+    cell_radius_km:
+        Hexagon circumradius in kilometres.
+    capacity_bu:
+        Bandwidth units per base station (paper default: 40).
+    """
+
+    def __init__(
+        self,
+        rings: int = 2,
+        cell_radius_km: float = 2.0,
+        capacity_bu: int = PAPER_BANDWIDTH_UNITS,
+    ):
+        if rings < 0:
+            raise ValueError(f"rings must be non-negative, got {rings}")
+        if cell_radius_km <= 0:
+            raise ValueError(f"cell radius must be positive, got {cell_radius_km}")
+        self.rings = rings
+        self.cell_radius_km = cell_radius_km
+        self.capacity_bu = capacity_bu
+
+        center = HexCoordinate(0, 0)
+        coordinates = hex_spiral(center, rings)
+        self._cells: dict[HexCoordinate, Cell] = {}
+        self._cells_by_id: dict[int, Cell] = {}
+        for index, coordinate in enumerate(coordinates, start=1):
+            cell = Cell(
+                coordinate=coordinate,
+                radius_km=cell_radius_km,
+                capacity_bu=capacity_bu,
+                cell_id=index,
+            )
+            self._cells[coordinate] = cell
+            self._cells_by_id[index] = cell
+
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(self._cells_by_id)
+        for coordinate, cell in self._cells.items():
+            for neighbor_coord in coordinate.neighbors():
+                neighbor = self._cells.get(neighbor_coord)
+                if neighbor is not None:
+                    self._graph.add_edge(cell.cell_id, neighbor.cell_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def cell_count(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cells(self) -> list[Cell]:
+        return [self._cells_by_id[cid] for cid in sorted(self._cells_by_id)]
+
+    @property
+    def center_cell(self) -> Cell:
+        return self._cells[HexCoordinate(0, 0)]
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The neighbour graph (node = cell id)."""
+        return self._graph
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell(self, cell_id: int) -> Cell:
+        """Cell by identifier."""
+        try:
+            return self._cells_by_id[cell_id]
+        except KeyError:
+            raise KeyError(f"no cell with id {cell_id}") from None
+
+    def cell_at(self, coordinate: HexCoordinate) -> Cell | None:
+        """Cell at an axial coordinate, or ``None`` outside the layout."""
+        return self._cells.get(coordinate)
+
+    # ------------------------------------------------------------------
+    def serving_cell(self, position: Point) -> Cell | None:
+        """Cell containing a planar position, or ``None`` outside coverage."""
+        coordinate = HexCoordinate.from_point(position, self.cell_radius_km)
+        return self._cells.get(coordinate)
+
+    def nearest_cell(self, position: Point) -> Cell:
+        """Cell whose base station is closest to a position (never ``None``)."""
+        return min(self.cells, key=lambda cell: cell.distance_to(position))
+
+    def neighbors(self, cell_id: int) -> list[Cell]:
+        """Adjacent cells of a cell."""
+        if cell_id not in self._graph:
+            raise KeyError(f"no cell with id {cell_id}")
+        return [self._cells_by_id[nid] for nid in sorted(self._graph.neighbors(cell_id))]
+
+    def are_neighbors(self, cell_a: int, cell_b: int) -> bool:
+        return self._graph.has_edge(cell_a, cell_b)
+
+    def hop_distance(self, cell_a: int, cell_b: int) -> int:
+        """Number of cell-to-cell hops between two cells."""
+        return int(
+            nx.shortest_path_length(self._graph, source=cell_a, target=cell_b)
+        )
+
+    # ------------------------------------------------------------------
+    def cells_along_heading(
+        self,
+        start: Point,
+        heading_deg: float,
+        distance_km: float,
+        step_km: float = 0.5,
+    ) -> list[Cell]:
+        """Cells crossed by a straight trajectory from ``start``.
+
+        Samples the ray every ``step_km`` and collects the distinct serving
+        cells in order of first crossing — the building block of the shadow
+        cluster projection.
+        """
+        if distance_km < 0:
+            raise ValueError(f"distance must be non-negative, got {distance_km}")
+        if step_km <= 0:
+            raise ValueError(f"step must be positive, got {step_km}")
+        visited: list[Cell] = []
+        seen: set[int] = set()
+        steps = max(int(distance_km / step_km), 1)
+        for i in range(steps + 1):
+            offset = Vector.from_polar(min(i * step_km, distance_km), heading_deg)
+            cell = self.serving_cell(start.translate(offset))
+            if cell is not None and cell.cell_id not in seen:
+                visited.append(cell)
+                seen.add(cell.cell_id)
+        return visited
+
+    def total_used_bu(self) -> int:
+        """Aggregate bandwidth in use across the whole network."""
+        return sum(cell.base_station.used_bu for cell in self.cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CellularNetwork(cells={self.cell_count}, radius={self.cell_radius_km}km, "
+            f"capacity={self.capacity_bu}BU)"
+        )

@@ -1,0 +1,163 @@
+"""Traffic classes, the paper's workload mix and arrival/holding processes.
+
+The paper's simulation parameters (Section 4):
+
+* three service classes — **text**, **voice**, **video**;
+* class mix 60% text, 30% voice, 10% video;
+* requested bandwidth 1, 5 and 10 Bandwidth Units (BU) respectively;
+* base-station capacity 40 BU.
+
+Text is non-real-time (queueable/delay-tolerant), voice and video are
+real-time — this is the "Differentiated service" (Ds) distinction the FACS
+system uses to route accepted calls to the RTC and NRTC counters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..des.rng import RandomStream
+
+__all__ = [
+    "ServiceClass",
+    "TrafficClassSpec",
+    "TrafficMix",
+    "PAPER_TRAFFIC_MIX",
+    "PAPER_BANDWIDTH_UNITS",
+    "ArrivalProcess",
+    "HoldingTimeModel",
+]
+
+#: Base-station capacity used throughout the paper's evaluation (Section 4).
+PAPER_BANDWIDTH_UNITS = 40
+
+
+class ServiceClass(enum.Enum):
+    """The paper's three service classes."""
+
+    TEXT = "text"
+    VOICE = "voice"
+    VIDEO = "video"
+
+    @property
+    def is_real_time(self) -> bool:
+        """Voice and video are real-time; text is queueable (Section 1)."""
+        return self in (ServiceClass.VOICE, ServiceClass.VIDEO)
+
+
+@dataclass(frozen=True)
+class TrafficClassSpec:
+    """Static description of one service class."""
+
+    service: ServiceClass
+    bandwidth_units: int
+    share: float
+    mean_holding_time_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_units <= 0:
+            raise ValueError(
+                f"bandwidth_units must be positive, got {self.bandwidth_units}"
+            )
+        if not 0.0 <= self.share <= 1.0:
+            raise ValueError(f"share must lie in [0, 1], got {self.share}")
+        if self.mean_holding_time_s <= 0:
+            raise ValueError(
+                f"mean_holding_time_s must be positive, got {self.mean_holding_time_s}"
+            )
+
+
+class TrafficMix:
+    """A probability mix over service classes with per-class bandwidth demands."""
+
+    def __init__(self, classes: Mapping[ServiceClass, TrafficClassSpec]):
+        if not classes:
+            raise ValueError("traffic mix requires at least one class")
+        total_share = sum(spec.share for spec in classes.values())
+        if abs(total_share - 1.0) > 1e-9:
+            raise ValueError(
+                f"class shares must sum to 1, got {total_share:.6f} "
+                f"({ {c.value: s.share for c, s in classes.items()} })"
+            )
+        for service, spec in classes.items():
+            if spec.service is not service:
+                raise ValueError(
+                    f"mix key {service} does not match spec service {spec.service}"
+                )
+        self._classes = dict(classes)
+
+    @property
+    def classes(self) -> dict[ServiceClass, TrafficClassSpec]:
+        return dict(self._classes)
+
+    def spec(self, service: ServiceClass) -> TrafficClassSpec:
+        try:
+            return self._classes[service]
+        except KeyError:
+            raise KeyError(f"traffic mix has no class {service}") from None
+
+    def bandwidth_for(self, service: ServiceClass) -> int:
+        """Bandwidth demand in BU for a service class."""
+        return self.spec(service).bandwidth_units
+
+    def sample_class(self, rng: "RandomStream") -> ServiceClass:
+        """Draw a service class according to the mix shares."""
+        services = list(self._classes)
+        weights = [self._classes[s].share for s in services]
+        return rng.choice(services, weights)
+
+    def offered_load_bu(self) -> float:
+        """Expected bandwidth demand of a single request in BU."""
+        return sum(spec.share * spec.bandwidth_units for spec in self._classes.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{s.value}: {spec.share:.0%}/{spec.bandwidth_units}BU"
+            for s, spec in self._classes.items()
+        )
+        return f"TrafficMix({parts})"
+
+
+#: The workload of Section 4: 60% text (1 BU), 30% voice (5 BU), 10% video (10 BU).
+PAPER_TRAFFIC_MIX = TrafficMix(
+    {
+        ServiceClass.TEXT: TrafficClassSpec(
+            ServiceClass.TEXT, bandwidth_units=1, share=0.60, mean_holding_time_s=90.0
+        ),
+        ServiceClass.VOICE: TrafficClassSpec(
+            ServiceClass.VOICE, bandwidth_units=5, share=0.30, mean_holding_time_s=120.0
+        ),
+        ServiceClass.VIDEO: TrafficClassSpec(
+            ServiceClass.VIDEO, bandwidth_units=10, share=0.10, mean_holding_time_s=180.0
+        ),
+    }
+)
+
+
+class ArrivalProcess:
+    """Poisson call-arrival process (exponential inter-arrival times)."""
+
+    def __init__(self, rate_per_s: float, rng: "RandomStream"):
+        if rate_per_s <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate_per_s}")
+        self.rate_per_s = rate_per_s
+        self._rng = rng
+
+    def next_interarrival(self) -> float:
+        """Time until the next call request (seconds)."""
+        return self._rng.exponential(1.0 / self.rate_per_s)
+
+
+class HoldingTimeModel:
+    """Exponential call-holding-time model with per-class means."""
+
+    def __init__(self, mix: TrafficMix, rng: "RandomStream"):
+        self._mix = mix
+        self._rng = rng
+
+    def sample(self, service: ServiceClass) -> float:
+        """Call duration in seconds for a service class."""
+        return self._rng.exponential(self._mix.spec(service).mean_holding_time_s)

@@ -1,0 +1,119 @@
+"""Command-line interface for the reproduction.
+
+``python -m repro list`` shows every registered paper artifact;
+``python -m repro run <experiment-id>`` regenerates one of them and prints
+the same tables/plots the benchmarks produce.  The figure experiments accept
+``--replications`` and ``--requests`` so quick looks and full-fidelity runs
+use the same entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.tables import format_table
+from .experiments import (
+    EXPERIMENTS,
+    experiment_ids,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_figure10,
+    render_flc1_memberships,
+    render_flc2_memberships,
+    render_frb1,
+    render_frb2,
+    reproduce_figure7,
+    reproduce_figure8,
+    reproduce_figure9,
+    reproduce_figure10,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of the FACS paper (Barolli et al., ICDCSW 2007).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list every registered paper artifact")
+
+    run = subparsers.add_parser("run", help="regenerate one paper artifact")
+    run.add_argument("experiment", choices=experiment_ids(), help="experiment identifier")
+    run.add_argument(
+        "--replications",
+        type=int,
+        default=5,
+        help="independent replications per sweep point (figure experiments only)",
+    )
+    run.add_argument(
+        "--requests",
+        type=int,
+        nargs="+",
+        default=[10, 30, 50, 70, 100],
+        help="numbers of requesting connections to sweep (figure experiments only)",
+    )
+    return parser
+
+
+def _run_experiment(experiment: str, replications: int, requests: Sequence[int]) -> str:
+    requests = tuple(requests)
+    if experiment == "table1-frb1":
+        return render_frb1()
+    if experiment == "table2-frb2":
+        return render_frb2()
+    if experiment == "fig5-flc1-mf":
+        return render_flc1_memberships()
+    if experiment == "fig6-flc2-mf":
+        return render_flc2_memberships()
+    if experiment == "fig7-speed":
+        return render_figure7(
+            reproduce_figure7(request_counts=requests, replications=replications)
+        )
+    if experiment == "fig8-angle":
+        return render_figure8(
+            reproduce_figure8(request_counts=requests, replications=replications)
+        )
+    if experiment == "fig9-distance":
+        return render_figure9(
+            reproduce_figure9(request_counts=requests, replications=replications)
+        )
+    if experiment == "fig10-facs-vs-scc":
+        return render_figure10(
+            reproduce_figure10(request_counts=requests, replications=replications)
+        )
+    raise SystemExit(
+        f"experiment {experiment!r} is benchmark-only; run its bench target instead "
+        f"(see `python -m repro list`)"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        rows = [
+            [spec.experiment_id, spec.paper_artifact, spec.bench_target]
+            for spec in EXPERIMENTS
+        ]
+        print(format_table(["Experiment", "Paper artifact", "Benchmark"], rows))
+        return 0
+
+    if args.command == "run":
+        print(_run_experiment(args.experiment, args.replications, args.requests))
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

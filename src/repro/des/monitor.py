@@ -1,0 +1,195 @@
+"""Measurement utilities for simulations.
+
+Provides counters, tallies (observation statistics) and time-weighted series
+(state statistics such as "bandwidth units in use over time"), which the
+metrics layer of the cellular simulator builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+__all__ = ["Counter", "Tally", "TimeWeightedValue", "MonitorRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing named event counter."""
+
+    name: str
+    count: int = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative, got {amount}")
+        self.count += amount
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+class Tally:
+    """Running statistics over observed values (Welford's algorithm)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError(f"tally {self.name!r} has no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValueError(f"tally {self.name!r} has no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValueError(f"tally {self.name!r} has no observations")
+        return self._max
+
+    def reset(self) -> None:
+        self.__init__(self.name)  # type: ignore[misc]
+
+
+class TimeWeightedValue:
+    """Time-weighted statistics of a piecewise-constant state variable.
+
+    Typical use: track the number of bandwidth units in use — the
+    time-weighted mean is then the average occupancy of the base station.
+    """
+
+    def __init__(self, env: "Environment", name: str, initial: float = 0.0):
+        self._env = env
+        self.name = name
+        self._value = float(initial)
+        self._last_change = env.now
+        self._weighted_sum = 0.0
+        self._elapsed = 0.0
+        self._min = float(initial)
+        self._max = float(initial)
+        self._history: list[tuple[float, float]] = [(env.now, float(initial))]
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, new_value: float) -> None:
+        """Record a state change at the current simulation time."""
+        now = self._env.now
+        duration = now - self._last_change
+        if duration < 0:
+            raise ValueError("simulation clock moved backwards")
+        self._weighted_sum += self._value * duration
+        self._elapsed += duration
+        self._value = float(new_value)
+        self._last_change = now
+        self._min = min(self._min, self._value)
+        self._max = max(self._max, self._value)
+        self._history.append((now, self._value))
+
+    def add(self, delta: float) -> None:
+        """Convenience: update the value by a delta."""
+        self.update(self._value + delta)
+
+    @property
+    def time_average(self) -> float:
+        """Time-weighted mean up to the current simulation time."""
+        now = self._env.now
+        duration = now - self._last_change
+        weighted = self._weighted_sum + self._value * duration
+        elapsed = self._elapsed + duration
+        if elapsed <= 0.0:
+            return self._value
+        return weighted / elapsed
+
+    @property
+    def minimum(self) -> float:
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    @property
+    def history(self) -> list[tuple[float, float]]:
+        """List of ``(time, value)`` change points (including the initial value)."""
+        return list(self._history)
+
+
+class MonitorRegistry:
+    """A named collection of counters, tallies and time-weighted values."""
+
+    def __init__(self, env: "Environment"):
+        self._env = env
+        self._counters: dict[str, Counter] = {}
+        self._tallies: dict[str, Tally] = {}
+        self._time_weighted: dict[str, TimeWeightedValue] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating on first use) the counter with the given name."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def tally(self, name: str) -> Tally:
+        """Return (creating on first use) the tally with the given name."""
+        if name not in self._tallies:
+            self._tallies[name] = Tally(name)
+        return self._tallies[name]
+
+    def time_weighted(self, name: str, initial: float = 0.0) -> TimeWeightedValue:
+        """Return (creating on first use) the time-weighted value with the given name."""
+        if name not in self._time_weighted:
+            self._time_weighted[name] = TimeWeightedValue(self._env, name, initial)
+        return self._time_weighted[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dictionary of all monitored quantities (for result records)."""
+        data: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            data[f"count.{name}"] = float(counter.count)
+        for name, tally in self._tallies.items():
+            if tally.count:
+                data[f"mean.{name}"] = tally.mean
+        for name, series in self._time_weighted.items():
+            data[f"avg.{name}"] = series.time_average
+        return data

@@ -1,0 +1,91 @@
+"""Future-event list for the simulation kernel.
+
+A binary-heap calendar keyed by ``(time, priority, sequence)`` — the sequence
+number guarantees FIFO ordering among events scheduled for the same time and
+priority, which keeps simulations deterministic for a fixed RNG seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .events import Event
+
+__all__ = ["EventQueue", "ScheduledItem", "EmptyQueueError", "Priority"]
+
+
+class EmptyQueueError(RuntimeError):
+    """Raised when popping from an empty future-event list."""
+
+
+class Priority:
+    """Scheduling priorities; lower values are processed first at equal times."""
+
+    URGENT = 0
+    NORMAL = 1
+    LOW = 2
+
+
+@dataclass(order=True)
+class ScheduledItem:
+    """A heap entry: event plus its scheduled time and tie-breaking keys."""
+
+    time: float
+    priority: int
+    sequence: int
+    event: "Event" = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Min-heap of scheduled events ordered by (time, priority, insertion)."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledItem] = []
+        self._sequence = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: "Event", time: float, priority: int = Priority.NORMAL) -> ScheduledItem:
+        """Schedule ``event`` at absolute simulated ``time``."""
+        item = ScheduledItem(time=time, priority=priority, sequence=next(self._sequence), event=event)
+        heapq.heappush(self._heap, item)
+        self._live += 1
+        return item
+
+    def pop(self) -> ScheduledItem:
+        """Remove and return the earliest non-cancelled scheduled item."""
+        while self._heap:
+            item = heapq.heappop(self._heap)
+            if item.cancelled:
+                continue
+            self._live -= 1
+            return item
+        raise EmptyQueueError("the future event list is empty")
+
+    def peek_time(self) -> float:
+        """Time of the next non-cancelled event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise EmptyQueueError("the future event list is empty")
+        return self._heap[0].time
+
+    def cancel(self, item: ScheduledItem) -> None:
+        """Lazily cancel a scheduled item (skipped when popped)."""
+        if not item.cancelled:
+            item.cancelled = True
+            self._live -= 1
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0

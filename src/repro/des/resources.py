@@ -1,0 +1,286 @@
+"""Shared resources for simulation processes.
+
+Two resource flavours are provided:
+
+* :class:`Resource` — a counted resource with discrete slots and a FIFO (or
+  priority) wait queue; requests are events that trigger once granted.
+* :class:`Container` — a continuous/discrete *quantity* store (used to model
+  a base station's pool of Bandwidth Units), supporting atomic ``get`` /
+  ``put`` of arbitrary amounts with waiting semantics and a non-blocking
+  ``try_get`` that admission controllers use for immediate decisions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+__all__ = ["Request", "Release", "Resource", "PriorityRequest", "PriorityResource", "Container", "ContainerGet", "ContainerPut"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; usable as a context manager."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        self.resource._cancel(self)
+
+
+class Release(Event):
+    """Event produced by :meth:`Resource.release`; triggers immediately."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        self.succeed()
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self._capacity = int(capacity)
+        self._users: list[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    # ------------------------------------------------------------------
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when the claim is granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Return a previously granted slot and wake the next waiter."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_waiting()
+        return Release(self, request)
+
+    # -- internals ------------------------------------------------------
+    def _request(self, request: Request) -> None:
+        if len(self._users) < self._capacity:
+            self._users.append(request)
+            request.succeed()
+        else:
+            self._waiting.append(request)
+
+    def _cancel(self, request: Request) -> None:
+        if request in self._waiting:
+            self._waiting.remove(request)
+
+    def _grant_waiting(self) -> None:
+        while self._waiting and len(self._users) < self._capacity:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityRequest(Request):
+    """A resource request with a priority (lower value = more important)."""
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0):
+        self.priority = priority
+        self._order = resource._next_order()
+        super().__init__(resource)
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is ordered by request priority.
+
+    Used by the guard-channel-style baselines to prioritise handoff calls
+    over new calls when both are waiting for bandwidth.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        super().__init__(env, capacity)
+        self._counter = 0
+
+    def _next_order(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _request(self, request: Request) -> None:
+        if len(self._users) < self._capacity:
+            self._users.append(request)
+            request.succeed()
+        else:
+            self._waiting.append(request)
+            self._waiting = deque(
+                sorted(
+                    self._waiting,
+                    key=lambda r: (getattr(r, "priority", 0), getattr(r, "_order", 0)),
+                )
+            )
+
+
+class ContainerGet(Event):
+    """Pending withdrawal of an amount from a :class:`Container`."""
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"get amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = float(amount)
+        self.container = container
+        container._do_get(self)
+
+
+class ContainerPut(Event):
+    """Pending deposit of an amount into a :class:`Container`."""
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"put amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = float(amount)
+        self.container = container
+        container._do_put(self)
+
+
+class Container:
+    """A homogeneous quantity store with bounded capacity.
+
+    Models the base station's bandwidth pool: ``level`` is the amount
+    currently available, ``capacity`` the maximum.  ``get``/``put`` return
+    events that trigger once the amount can be withdrawn/deposited;
+    ``try_get``/``try_put`` perform the operation immediately or not at all.
+    """
+
+    def __init__(self, env: "Environment", capacity: float, init: float | None = None):
+        if capacity <= 0:
+            raise ValueError(f"container capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = float(capacity)
+        self._level = float(capacity if init is None else init)
+        if not 0.0 <= self._level <= self._capacity:
+            raise ValueError(
+                f"initial level {self._level} outside [0, {self._capacity}]"
+            )
+        self._pending_gets: Deque[ContainerGet] = deque()
+        self._pending_puts: Deque[ContainerPut] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Amount currently available for withdrawal."""
+        return self._level
+
+    @property
+    def used(self) -> float:
+        """Amount currently withdrawn (capacity - level)."""
+        return self._capacity - self._level
+
+    # ------------------------------------------------------------------
+    def get(self, amount: float) -> ContainerGet:
+        """Withdraw ``amount`` once available (event triggers at that point)."""
+        return ContainerGet(self, amount)
+
+    def put(self, amount: float) -> ContainerPut:
+        """Deposit ``amount`` once it fits (event triggers at that point)."""
+        return ContainerPut(self, amount)
+
+    def try_get(self, amount: float) -> bool:
+        """Immediately withdraw ``amount`` if available; return success."""
+        if amount <= 0:
+            raise ValueError(f"get amount must be positive, got {amount}")
+        if amount <= self._level + 1e-12:
+            self._level -= amount
+            self._level = max(self._level, 0.0)
+            return True
+        return False
+
+    def try_put(self, amount: float) -> bool:
+        """Immediately deposit ``amount`` if it fits; return success."""
+        if amount <= 0:
+            raise ValueError(f"put amount must be positive, got {amount}")
+        if self._level + amount <= self._capacity + 1e-12:
+            self._level = min(self._level + amount, self._capacity)
+            self._trigger_gets()
+            return True
+        return False
+
+    # -- internals ------------------------------------------------------
+    def _do_get(self, event: ContainerGet) -> None:
+        if event.amount > self._capacity:
+            event.fail(
+                ValueError(
+                    f"requested amount {event.amount} exceeds container capacity {self._capacity}"
+                )
+            )
+            return
+        self._pending_gets.append(event)
+        self._trigger_gets()
+
+    def _do_put(self, event: ContainerPut) -> None:
+        if event.amount > self._capacity:
+            event.fail(
+                ValueError(
+                    f"deposit amount {event.amount} exceeds container capacity {self._capacity}"
+                )
+            )
+            return
+        self._pending_puts.append(event)
+        self._trigger_puts()
+        self._trigger_gets()
+
+    def _trigger_gets(self) -> None:
+        while self._pending_gets:
+            head = self._pending_gets[0]
+            if head.amount <= self._level + 1e-12:
+                self._level = max(self._level - head.amount, 0.0)
+                self._pending_gets.popleft()
+                head.succeed()
+                self._trigger_puts()
+            else:
+                break
+
+    def _trigger_puts(self) -> None:
+        while self._pending_puts:
+            head = self._pending_puts[0]
+            if self._level + head.amount <= self._capacity + 1e-12:
+                self._level = min(self._level + head.amount, self._capacity)
+                self._pending_puts.popleft()
+                head.succeed()
+            else:
+                break

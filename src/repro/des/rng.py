@@ -1,0 +1,142 @@
+"""Reproducible random-number streams for simulations.
+
+Each logical source of randomness in a simulation (arrival times, holding
+times, user speeds, ...) gets its own named substream derived from a master
+seed, so changing the number of draws in one stream does not perturb the
+others — the standard variance-reduction / reproducibility discipline for
+simulation studies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RandomStream", "StreamFactory"]
+
+
+class RandomStream:
+    """A named, seeded random stream with the distributions the simulator needs."""
+
+    def __init__(self, name: str, seed: int):
+        self.name = name
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- uniform / choice ------------------------------------------------
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Uniform draw on ``[low, high)``."""
+        if high < low:
+            raise ValueError(f"uniform bounds reversed: low={low}, high={high}")
+        return float(self._rng.uniform(low, high))
+
+    def integer(self, low: int, high: int) -> int:
+        """Uniform integer on ``[low, high]`` inclusive."""
+        if high < low:
+            raise ValueError(f"integer bounds reversed: low={low}, high={high}")
+        return int(self._rng.integers(low, high + 1))
+
+    def choice(self, options: Sequence, weights: Sequence[float] | None = None):
+        """Draw one element, optionally with (unnormalised) weights."""
+        if not len(options):
+            raise ValueError("cannot choose from an empty sequence")
+        if weights is None:
+            index = int(self._rng.integers(0, len(options)))
+            return options[index]
+        weights_arr = np.asarray(weights, dtype=float)
+        if len(weights_arr) != len(options):
+            raise ValueError(
+                f"weights length {len(weights_arr)} does not match options length {len(options)}"
+            )
+        if np.any(weights_arr < 0) or weights_arr.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum to a positive value")
+        probabilities = weights_arr / weights_arr.sum()
+        index = int(self._rng.choice(len(options), p=probabilities))
+        return options[index]
+
+    def shuffle(self, items: list) -> list:
+        """Return a new list with the items in random order."""
+        indices = self._rng.permutation(len(items))
+        return [items[i] for i in indices]
+
+    # -- common simulation distributions ----------------------------------
+    def exponential(self, mean: float) -> float:
+        """Exponential draw with the given mean (inter-arrival/holding times)."""
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be positive, got {mean}")
+        return float(self._rng.exponential(mean))
+
+    def normal(self, mean: float = 0.0, std: float = 1.0) -> float:
+        if std < 0:
+            raise ValueError(f"normal std must be non-negative, got {std}")
+        return float(self._rng.normal(mean, std))
+
+    def lognormal(self, mean: float = 0.0, sigma: float = 1.0) -> float:
+        if sigma < 0:
+            raise ValueError(f"lognormal sigma must be non-negative, got {sigma}")
+        return float(self._rng.lognormal(mean, sigma))
+
+    def poisson(self, lam: float) -> int:
+        if lam < 0:
+            raise ValueError(f"poisson rate must be non-negative, got {lam}")
+        return int(self._rng.poisson(lam))
+
+    def bernoulli(self, probability: float) -> bool:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must lie in [0, 1], got {probability}")
+        return bool(self._rng.random() < probability)
+
+    def pareto(self, shape: float, scale: float = 1.0) -> float:
+        """Pareto draw (heavy-tailed session sizes for data traffic)."""
+        if shape <= 0 or scale <= 0:
+            raise ValueError("pareto shape and scale must be positive")
+        return float(scale * (1.0 + self._rng.pareto(shape)))
+
+    def angle_degrees(self) -> float:
+        """Uniform direction on [-180, 180) degrees (user heading)."""
+        return float(self._rng.uniform(-180.0, 180.0))
+
+    def spawn(self, suffix: str) -> "RandomStream":
+        """Derive a child stream whose seed depends on this stream's seed and a label."""
+        child_seed = _mix_seed(self.seed, suffix)
+        return RandomStream(f"{self.name}/{suffix}", child_seed)
+
+
+class StreamFactory:
+    """Creates independent named random streams from a single master seed."""
+
+    def __init__(self, master_seed: int = 12345):
+        self.master_seed = int(master_seed)
+        self._streams: dict[str, RandomStream] = {}
+
+    def stream(self, name: str) -> RandomStream:
+        """Return (creating on first use) the stream with the given name."""
+        if name not in self._streams:
+            self._streams[name] = RandomStream(name, _mix_seed(self.master_seed, name))
+        return self._streams[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def stream_names(self) -> list[str]:
+        return sorted(self._streams)
+
+
+def _mix_seed(seed: int, label: str) -> int:
+    """Derive a 63-bit child seed from a parent seed and a string label.
+
+    Uses the SplitMix64 finaliser over the parent seed combined with a simple
+    polynomial hash of the label, which is deterministic across platforms and
+    Python processes (unlike the built-in ``hash``).
+    """
+    label_hash = 0
+    for char in label:
+        label_hash = (label_hash * 131 + ord(char)) & 0xFFFFFFFFFFFFFFFF
+    z = (seed ^ label_hash) & 0xFFFFFFFFFFFFFFFF
+    z = (z + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    z = z ^ (z >> 31)
+    return int(z & 0x7FFFFFFFFFFFFFFF)

@@ -1,0 +1,48 @@
+"""Experiments reproducing every table and figure of the paper's evaluation."""
+
+from .figures import EXPERIMENTS, ExperimentSpec, experiment, experiment_ids
+from .fig7_speed import render_figure7, reproduce_figure7
+from .fig8_angle import render_figure8, reproduce_figure8
+from .fig9_distance import curve_spread, render_figure9, reproduce_figure9
+from .fig10_facs_vs_scc import (
+    crossover_request_count,
+    render_figure10,
+    reproduce_figure10,
+)
+from .tables import (
+    render_flc1_memberships,
+    render_flc2_memberships,
+    render_frb1,
+    render_frb2,
+)
+from .ablations import (
+    baseline_ablation,
+    defuzzifier_ablation,
+    network_integration,
+    threshold_ablation,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "experiment",
+    "experiment_ids",
+    "reproduce_figure7",
+    "render_figure7",
+    "reproduce_figure8",
+    "render_figure8",
+    "reproduce_figure9",
+    "render_figure9",
+    "curve_spread",
+    "reproduce_figure10",
+    "render_figure10",
+    "crossover_request_count",
+    "render_frb1",
+    "render_frb2",
+    "render_flc1_memberships",
+    "render_flc2_memberships",
+    "defuzzifier_ablation",
+    "threshold_ablation",
+    "baseline_ablation",
+    "network_integration",
+]

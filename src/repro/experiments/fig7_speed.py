@@ -1,0 +1,57 @@
+"""Figure 7: acceptance percentage vs requesting connections for different speeds.
+
+The paper fixes the user speed per curve (4, 10, 30 and 60 km/h), randomises
+the remaining attributes and reports the percentage of accepted calls as the
+number of requesting connections grows from 0 to 100.  The headline
+observation is that faster users are accepted more because their direction
+"can not be changed easy", so FLC1 predicts their trajectory with more
+confidence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.plotting import ascii_line_plot
+from ..analysis.tables import format_curve_table
+from ..simulation.config import PAPER_REQUEST_COUNTS
+from ..simulation.scenario import PAPER_SPEED_VALUES_KMH, speed_sweep_variants
+from ..simulation.sweep import SweepResult, run_acceptance_sweep
+
+__all__ = ["reproduce_figure7", "render_figure7"]
+
+
+def reproduce_figure7(
+    speeds_kmh: Sequence[float] = PAPER_SPEED_VALUES_KMH,
+    request_counts: Sequence[int] = PAPER_REQUEST_COUNTS,
+    replications: int = 10,
+    seed: int = 20070607,
+) -> SweepResult:
+    """Run the Fig. 7 sweep and return one curve per speed value."""
+    variants = speed_sweep_variants(speeds_kmh, seed=seed)
+    return run_acceptance_sweep(
+        name="fig7-speed",
+        variants=variants,
+        request_counts=request_counts,
+        replications=replications,
+    )
+
+
+def render_figure7(sweep: SweepResult) -> str:
+    """Render the Fig. 7 reproduction as an ASCII table plus plot."""
+    x_values = sweep.curves[0].request_counts()
+    series = {curve.label: curve.acceptance_series() for curve in sweep.curves}
+    table = format_curve_table(
+        "Requests",
+        x_values,
+        series,
+        title="Figure 7 — acceptance percentage vs requesting connections (speed curves)",
+    )
+    plot = ascii_line_plot(
+        [float(x) for x in x_values],
+        series,
+        y_label="percentage of accepted calls",
+        x_label="number of requesting connections",
+        title="Figure 7 (reproduction)",
+    )
+    return f"{table}\n\n{plot}"

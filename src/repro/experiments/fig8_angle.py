@@ -1,0 +1,56 @@
+"""Figure 8: acceptance percentage vs requesting connections for different angles.
+
+The paper fixes the user's heading relative to the base station per curve
+(0, 30, 50, 60 and 90 degrees) and randomises the remaining attributes.  A
+user heading straight at the BS (angle 0) is accepted nearly always at light
+load; users heading away are increasingly rejected because there is "no need
+to allocate the bandwidth for this user".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.plotting import ascii_line_plot
+from ..analysis.tables import format_curve_table
+from ..simulation.config import PAPER_REQUEST_COUNTS
+from ..simulation.scenario import PAPER_ANGLE_VALUES_DEG, angle_sweep_variants
+from ..simulation.sweep import SweepResult, run_acceptance_sweep
+
+__all__ = ["reproduce_figure8", "render_figure8"]
+
+
+def reproduce_figure8(
+    angles_deg: Sequence[float] = PAPER_ANGLE_VALUES_DEG,
+    request_counts: Sequence[int] = PAPER_REQUEST_COUNTS,
+    replications: int = 10,
+    seed: int = 20070608,
+) -> SweepResult:
+    """Run the Fig. 8 sweep and return one curve per angle value."""
+    variants = angle_sweep_variants(angles_deg, seed=seed)
+    return run_acceptance_sweep(
+        name="fig8-angle",
+        variants=variants,
+        request_counts=request_counts,
+        replications=replications,
+    )
+
+
+def render_figure8(sweep: SweepResult) -> str:
+    """Render the Fig. 8 reproduction as an ASCII table plus plot."""
+    x_values = sweep.curves[0].request_counts()
+    series = {curve.label: curve.acceptance_series() for curve in sweep.curves}
+    table = format_curve_table(
+        "Requests",
+        x_values,
+        series,
+        title="Figure 8 — acceptance percentage vs requesting connections (angle curves)",
+    )
+    plot = ascii_line_plot(
+        [float(x) for x in x_values],
+        series,
+        y_label="percentage of accepted calls",
+        x_label="number of requesting connections",
+        title="Figure 8 (reproduction)",
+    )
+    return f"{table}\n\n{plot}"

@@ -1,0 +1,125 @@
+"""A self-contained fuzzy-logic toolkit (replacement for scikit-fuzzy).
+
+Provides membership functions, linguistic variables, a rule DSL, Mamdani /
+Sugeno inference and defuzzification — everything FLC1 and FLC2 of the
+paper's FACS system need, built from scratch.
+"""
+
+from .membership import (
+    ConstantMF,
+    Gaussian,
+    GeneralizedBell,
+    MembershipFunction,
+    PiShape,
+    PiecewiseLinear,
+    Sigmoid,
+    Singleton,
+    SShape,
+    Trapezoidal,
+    Triangular,
+    ZShape,
+    paper_trapezoidal,
+    paper_triangular,
+)
+from .operators import (
+    BOUNDED_SUM,
+    LUKASIEWICZ_AND,
+    MAXIMUM,
+    MINIMUM,
+    PROBABILISTIC_SUM,
+    PRODUCT,
+    SNorm,
+    TNorm,
+    snorm_by_name,
+    tnorm_by_name,
+)
+from .hedges import Hedge, hedge_by_name
+from .variables import FuzzificationResult, LinguisticVariable, Term
+from .rules import And, Antecedent, Consequent, FuzzyRule, Not, Or, Proposition, RuleBase
+from .parser import RuleSyntaxError, parse_rule, parse_rules
+from .defuzzification import (
+    Bisector,
+    Centroid,
+    DefuzzificationError,
+    Defuzzifier,
+    LargestOfMaximum,
+    MeanOfMaximum,
+    SmallestOfMaximum,
+    WeightedAverage,
+    defuzzifier_by_name,
+)
+from .inference import (
+    ImplicationMethod,
+    InferenceResult,
+    MamdaniEngine,
+    RuleActivation,
+    SugenoEngine,
+)
+from .controller import ControllerSpec, FuzzyController
+
+__all__ = [
+    # membership
+    "MembershipFunction",
+    "Triangular",
+    "Trapezoidal",
+    "Gaussian",
+    "GeneralizedBell",
+    "Sigmoid",
+    "ZShape",
+    "SShape",
+    "PiShape",
+    "Singleton",
+    "PiecewiseLinear",
+    "ConstantMF",
+    "paper_triangular",
+    "paper_trapezoidal",
+    # operators
+    "TNorm",
+    "SNorm",
+    "MINIMUM",
+    "PRODUCT",
+    "LUKASIEWICZ_AND",
+    "MAXIMUM",
+    "PROBABILISTIC_SUM",
+    "BOUNDED_SUM",
+    "tnorm_by_name",
+    "snorm_by_name",
+    # hedges
+    "Hedge",
+    "hedge_by_name",
+    # variables
+    "Term",
+    "LinguisticVariable",
+    "FuzzificationResult",
+    # rules
+    "Antecedent",
+    "Proposition",
+    "And",
+    "Or",
+    "Not",
+    "Consequent",
+    "FuzzyRule",
+    "RuleBase",
+    "parse_rule",
+    "parse_rules",
+    "RuleSyntaxError",
+    # defuzzification
+    "Defuzzifier",
+    "Centroid",
+    "Bisector",
+    "MeanOfMaximum",
+    "SmallestOfMaximum",
+    "LargestOfMaximum",
+    "WeightedAverage",
+    "defuzzifier_by_name",
+    "DefuzzificationError",
+    # inference
+    "MamdaniEngine",
+    "SugenoEngine",
+    "InferenceResult",
+    "RuleActivation",
+    "ImplicationMethod",
+    # controller
+    "FuzzyController",
+    "ControllerSpec",
+]

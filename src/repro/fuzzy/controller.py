@@ -1,0 +1,200 @@
+"""High-level fuzzy logic controller (FLC) facade.
+
+:class:`FuzzyController` packages the four blocks of Fig. 2 of the paper —
+fuzzifier, inference engine, fuzzy rule base (FRB) and defuzzifier — behind a
+single callable object with named inputs and a single (or multiple) crisp
+outputs.  FLC1 and FLC2 of the FACS system are both instances of this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .defuzzification import DEFAULT_DEFUZZIFIER, Defuzzifier, defuzzifier_by_name
+from .inference import ImplicationMethod, InferenceResult, MamdaniEngine
+from .operators import MAXIMUM, MINIMUM, SNorm, TNorm, snorm_by_name, tnorm_by_name
+from .parser import parse_rules
+from .rules import FuzzyRule, RuleBase
+from .variables import LinguisticVariable
+
+__all__ = ["FuzzyController", "ControllerSpec"]
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """Declarative description of a fuzzy controller.
+
+    Keeps the configuration of FLC1/FLC2 (operators, implication,
+    defuzzifier) serialisable and comparable in tests and ablations.
+    """
+
+    name: str
+    tnorm: str = "minimum"
+    snorm: str = "maximum"
+    implication: str = ImplicationMethod.CLIP
+    defuzzifier: str = "centroid"
+
+    def build(
+        self,
+        inputs: Sequence[LinguisticVariable],
+        outputs: Sequence[LinguisticVariable],
+        rules: Sequence[FuzzyRule] | str,
+    ) -> "FuzzyController":
+        """Materialise the spec into a runnable :class:`FuzzyController`."""
+        return FuzzyController(
+            name=self.name,
+            inputs=inputs,
+            outputs=outputs,
+            rules=rules,
+            tnorm=tnorm_by_name(self.tnorm),
+            snorm=snorm_by_name(self.snorm),
+            implication=self.implication,
+            defuzzifier=defuzzifier_by_name(self.defuzzifier),
+        )
+
+
+class FuzzyController:
+    """A complete Mamdani fuzzy logic controller.
+
+    Parameters
+    ----------
+    name:
+        Human-readable controller name (``"FLC1"``, ``"FLC2"``).
+    inputs, outputs:
+        Linguistic variables of the controller.
+    rules:
+        Either pre-built :class:`FuzzyRule` objects or a rule-DSL string /
+        list of strings (see :mod:`repro.fuzzy.parser`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[LinguisticVariable],
+        outputs: Sequence[LinguisticVariable],
+        rules: Sequence[FuzzyRule] | Iterable[str] | str,
+        tnorm: TNorm = MINIMUM,
+        snorm: SNorm = MAXIMUM,
+        implication: str = ImplicationMethod.CLIP,
+        defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
+    ):
+        if isinstance(rules, str):
+            rule_objs: Sequence[FuzzyRule] = parse_rules(rules)
+        else:
+            rules = list(rules)
+            if rules and isinstance(rules[0], str):
+                rule_objs = parse_rules([str(r) for r in rules])
+            else:
+                rule_objs = [r for r in rules if isinstance(r, FuzzyRule)]
+                if len(rule_objs) != len(rules):
+                    raise TypeError(
+                        "rules must be FuzzyRule objects or rule strings, not a mix"
+                    )
+        self._name = name
+        self._rule_base = RuleBase(rule_objs, inputs, outputs, name=f"{name}-rules")
+        self._engine = MamdaniEngine(
+            self._rule_base,
+            tnorm=tnorm,
+            snorm=snorm,
+            implication=implication,
+            defuzzifier=defuzzifier,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def rule_base(self) -> RuleBase:
+        return self._rule_base
+
+    @property
+    def engine(self) -> MamdaniEngine:
+        return self._engine
+
+    @property
+    def input_names(self) -> list[str]:
+        return sorted(self._rule_base.input_variables)
+
+    @property
+    def output_names(self) -> list[str]:
+        return sorted(self._rule_base.output_variables)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FuzzyController({self._name!r}, inputs={self.input_names}, "
+            f"outputs={self.output_names}, rules={len(self._rule_base)})"
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, **inputs: float) -> InferenceResult:
+        """Run the controller and return the full :class:`InferenceResult`."""
+        return self._engine.infer(inputs)
+
+    def compute(self, **inputs: float) -> float:
+        """Run the controller and return its single crisp output value.
+
+        Raises ``ValueError`` when the controller has more than one output
+        variable (use :meth:`evaluate` in that case).
+        """
+        outputs = self.output_names
+        if len(outputs) != 1:
+            raise ValueError(
+                f"controller {self._name!r} has {len(outputs)} outputs; "
+                "use evaluate() and index the result"
+            )
+        return self._engine.infer(inputs)[outputs[0]]
+
+    def compute_many(self, samples: Iterable[Mapping[str, float]]) -> list[float]:
+        """Evaluate a batch of crisp input mappings (single-output controllers)."""
+        return [self.compute(**dict(sample)) for sample in samples]
+
+    def rule_table(self) -> list[dict[str, str]]:
+        """Render the rule base as a list of ``{column: value}`` rows.
+
+        Only meaningful for grid rule bases made of pure conjunctions (as
+        FRB1 and FRB2 are); each row contains one column per input variable
+        plus one per output variable, which is exactly the layout of Tables 1
+        and 2 of the paper.
+        """
+        rows: list[dict[str, str]] = []
+        for rule in self._rule_base:
+            row: dict[str, str] = {"Rule": rule.label}
+            from .rules import _propositions  # local import to avoid cycle at module load
+
+            for prop in _propositions(rule.antecedent):
+                row[prop.variable] = prop.term
+            for consequent in rule.consequents:
+                row[consequent.variable] = consequent.term
+            rows.append(row)
+        return rows
+
+    def membership_table(
+        self, variable: str, points: int = 11
+    ) -> dict[str, list[tuple[float, float]]]:
+        """Sample each term of a variable at ``points`` evenly spaced values.
+
+        Used by the experiments layer to render Figs. 5 and 6 (membership
+        function plots) as ASCII tables.
+        """
+        all_vars = {
+            **self._rule_base.input_variables,
+            **self._rule_base.output_variables,
+        }
+        try:
+            var = all_vars[variable]
+        except KeyError:
+            raise KeyError(
+                f"controller {self._name!r} has no variable {variable!r}; "
+                f"available: {sorted(all_vars)}"
+            ) from None
+        xs = np.linspace(*var.universe, points)
+        table: dict[str, list[tuple[float, float]]] = {}
+        for term in var:
+            mu = term.membership.sample(xs)
+            table[term.name] = [(float(x), float(m)) for x, m in zip(xs, mu)]
+        return table

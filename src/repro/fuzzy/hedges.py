@@ -1,0 +1,77 @@
+"""Linguistic hedges (modifiers) for fuzzy terms.
+
+Hedges transform a membership degree (or an entire membership surface) to
+express modified linguistic meaning, e.g. "very fast" or "somewhat near".
+The paper's controllers do not use hedges, but the rule DSL
+(:mod:`repro.fuzzy.parser`) accepts them, which makes the toolkit usable for
+richer rule bases (and they are exercised in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Hedge",
+    "VERY",
+    "EXTREMELY",
+    "SOMEWHAT",
+    "SLIGHTLY",
+    "INDEED",
+    "NOT",
+    "hedge_by_name",
+    "register_hedge",
+]
+
+ArrayLike = float | np.ndarray
+
+
+@dataclass(frozen=True)
+class Hedge:
+    """A named transformation on membership degrees."""
+
+    name: str
+    fn: Callable[[ArrayLike], ArrayLike]
+
+    def __call__(self, mu: ArrayLike) -> ArrayLike:
+        result = np.clip(self.fn(np.asarray(mu, dtype=float)), 0.0, 1.0)
+        if np.isscalar(mu) or (isinstance(mu, np.ndarray) and mu.ndim == 0):
+            return float(result)
+        return result
+
+
+def _intensify(mu: np.ndarray) -> np.ndarray:
+    """Contrast intensification: push degrees towards 0 or 1."""
+    return np.where(mu <= 0.5, 2.0 * mu**2, 1.0 - 2.0 * (1.0 - mu) ** 2)
+
+
+VERY = Hedge("very", lambda mu: mu**2)
+EXTREMELY = Hedge("extremely", lambda mu: mu**3)
+SOMEWHAT = Hedge("somewhat", lambda mu: mu**0.5)
+SLIGHTLY = Hedge("slightly", lambda mu: mu ** (1.0 / 3.0))
+INDEED = Hedge("indeed", _intensify)
+NOT = Hedge("not", lambda mu: 1.0 - mu)
+
+_REGISTRY: dict[str, Hedge] = {
+    hedge.name: hedge for hedge in (VERY, EXTREMELY, SOMEWHAT, SLIGHTLY, INDEED, NOT)
+}
+
+
+def hedge_by_name(name: str) -> Hedge:
+    """Look up a hedge by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown hedge {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def register_hedge(hedge: Hedge) -> None:
+    """Register a custom hedge so the rule parser can resolve it by name."""
+    if hedge.name.lower() in _REGISTRY:
+        raise ValueError(f"hedge {hedge.name!r} is already registered")
+    _REGISTRY[hedge.name.lower()] = hedge

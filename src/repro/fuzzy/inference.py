@@ -1,0 +1,299 @@
+"""Mamdani (and Larsen / Takagi–Sugeno zero-order) fuzzy inference engines.
+
+The engine combines the four FLC blocks shown in Fig. 2 of the paper —
+fuzzifier, inference engine, fuzzy rule base and defuzzifier — into a single
+``infer`` call:
+
+1. *Fuzzification*: crisp inputs are mapped to membership degrees of every
+   input term.
+2. *Rule evaluation*: each rule's antecedent is evaluated with the configured
+   t-norm (default: minimum) and s-norm (default: maximum).
+3. *Implication*: the rule's consequent set is clipped (Mamdani / minimum) or
+   scaled (Larsen / product) by the firing strength.
+4. *Aggregation*: all clipped consequent surfaces for an output variable are
+   aggregated with the s-norm.
+5. *Defuzzification*: the aggregated surface is reduced to a crisp output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .defuzzification import DEFAULT_DEFUZZIFIER, DefuzzificationError, Defuzzifier
+from .operators import MAXIMUM, MINIMUM, PRODUCT, SNorm, TNorm
+from .rules import FuzzyRule, RuleBase
+from .variables import LinguisticVariable
+
+__all__ = [
+    "ImplicationMethod",
+    "RuleActivation",
+    "InferenceResult",
+    "MamdaniEngine",
+    "SugenoEngine",
+]
+
+
+class ImplicationMethod:
+    """Implication operators supported by :class:`MamdaniEngine`."""
+
+    CLIP = "clip"  # Mamdani: min(firing strength, mu)
+    SCALE = "scale"  # Larsen: firing strength * mu
+
+    ALL = (CLIP, SCALE)
+
+
+@dataclass(frozen=True)
+class RuleActivation:
+    """Diagnostic record of one rule's contribution to an inference."""
+
+    rule: FuzzyRule
+    firing_strength: float
+
+    def fired(self, threshold: float = 0.0) -> bool:
+        return self.firing_strength > threshold
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Outcome of a single inference: crisp outputs plus full diagnostics."""
+
+    outputs: Mapping[str, float]
+    fuzzified_inputs: Mapping[str, Mapping[str, float]]
+    activations: tuple[RuleActivation, ...]
+    aggregated: Mapping[str, np.ndarray]
+
+    def __getitem__(self, variable: str) -> float:
+        return self.outputs[variable]
+
+    def fired_rules(self, threshold: float = 0.0) -> list[RuleActivation]:
+        """Activations with firing strength above ``threshold``, strongest first."""
+        fired = [a for a in self.activations if a.fired(threshold)]
+        return sorted(fired, key=lambda a: a.firing_strength, reverse=True)
+
+    def dominant_rule(self) -> RuleActivation:
+        """The activation with the highest firing strength."""
+        return max(self.activations, key=lambda a: a.firing_strength)
+
+
+class MamdaniEngine:
+    """Mamdani-type fuzzy inference over a :class:`RuleBase`.
+
+    Parameters
+    ----------
+    rule_base:
+        Validated rule base with its input and output variables.
+    tnorm, snorm:
+        Conjunction and disjunction/aggregation operators (paper default:
+        minimum / maximum).
+    implication:
+        ``"clip"`` (Mamdani) or ``"scale"`` (Larsen).
+    defuzzifier:
+        Strategy reducing the aggregated output set to a crisp value
+        (paper default: centroid).
+    """
+
+    def __init__(
+        self,
+        rule_base: RuleBase,
+        tnorm: TNorm = MINIMUM,
+        snorm: SNorm = MAXIMUM,
+        implication: str = ImplicationMethod.CLIP,
+        defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
+    ):
+        if implication not in ImplicationMethod.ALL:
+            raise ValueError(
+                f"unknown implication method {implication!r}; "
+                f"expected one of {ImplicationMethod.ALL}"
+            )
+        self._rule_base = rule_base
+        self._tnorm = tnorm
+        self._snorm = snorm
+        self._implication = implication
+        self._defuzzifier = defuzzifier
+        # Pre-sample every output term on its variable grid once; inference
+        # then only clips/aggregates arrays (hot path for the simulator).
+        self._output_term_surfaces: dict[str, dict[str, np.ndarray]] = {
+            var_name: {
+                term.name: var.sample_term(term.name) for term in var
+            }
+            for var_name, var in rule_base.output_variables.items()
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def rule_base(self) -> RuleBase:
+        return self._rule_base
+
+    @property
+    def defuzzifier(self) -> Defuzzifier:
+        return self._defuzzifier
+
+    @property
+    def tnorm(self) -> TNorm:
+        return self._tnorm
+
+    @property
+    def snorm(self) -> SNorm:
+        return self._snorm
+
+    @property
+    def implication(self) -> str:
+        return self._implication
+
+    # ------------------------------------------------------------------
+    def fuzzify(self, inputs: Mapping[str, float]) -> dict[str, dict[str, float]]:
+        """Fuzzify crisp inputs against every input variable's term set."""
+        missing = set(self._rule_base.input_variables) - set(inputs)
+        if missing:
+            raise ValueError(f"missing crisp inputs for variables: {sorted(missing)}")
+        degrees: dict[str, dict[str, float]] = {}
+        for name, variable in self._rule_base.input_variables.items():
+            degrees[name] = dict(variable.fuzzify(float(inputs[name])).degrees)
+        return degrees
+
+    def infer(self, inputs: Mapping[str, float]) -> InferenceResult:
+        """Run the full fuzzify → infer → aggregate → defuzzify pipeline."""
+        degrees = self.fuzzify(inputs)
+
+        activations: list[RuleActivation] = []
+        # output variable -> aggregated surface
+        aggregated: dict[str, np.ndarray] = {
+            name: np.zeros(var.resolution)
+            for name, var in self._rule_base.output_variables.items()
+        }
+        any_fired: dict[str, bool] = {name: False for name in aggregated}
+
+        for rule in self._rule_base:
+            strength = rule.firing_strength(degrees, self._tnorm, self._snorm)
+            activations.append(RuleActivation(rule, strength))
+            if strength <= 0.0:
+                continue
+            for consequent in rule.consequents:
+                term_surface = self._output_term_surfaces[consequent.variable][
+                    consequent.term
+                ]
+                if self._implication == ImplicationMethod.CLIP:
+                    clipped = np.minimum(term_surface, strength)
+                else:
+                    clipped = term_surface * strength
+                current = aggregated[consequent.variable]
+                aggregated[consequent.variable] = np.asarray(
+                    self._snorm(current, clipped)
+                )
+                any_fired[consequent.variable] = True
+
+        outputs: dict[str, float] = {}
+        for name, variable in self._rule_base.output_variables.items():
+            if not any_fired[name]:
+                raise DefuzzificationError(
+                    f"no rule fired for output variable {name!r} with inputs {dict(inputs)!r}; "
+                    f"the rule base does not cover this input region"
+                )
+            outputs[name] = self._defuzzifier(variable.grid, aggregated[name])
+
+        return InferenceResult(
+            outputs=outputs,
+            fuzzified_inputs=degrees,
+            activations=tuple(activations),
+            aggregated=aggregated,
+        )
+
+    def output_surface(
+        self,
+        output: str,
+        inputs: Mapping[str, float],
+    ) -> np.ndarray:
+        """Return the aggregated fuzzy output surface for one inference."""
+        result = self.infer(inputs)
+        return np.asarray(result.aggregated[output])
+
+    def control_surface(
+        self,
+        x_variable: str,
+        y_variable: str,
+        output: str,
+        fixed: Mapping[str, float] | None = None,
+        resolution: int = 25,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sweep two inputs and return ``(xs, ys, Z)`` of crisp outputs.
+
+        Useful for visualising/regression-testing the FLC1 and FLC2 decision
+        surfaces; all other input variables must be pinned via ``fixed``.
+        """
+        fixed = dict(fixed or {})
+        input_vars = self._rule_base.input_variables
+        for name in (x_variable, y_variable):
+            if name not in input_vars:
+                raise KeyError(f"unknown input variable {name!r}")
+        remaining = set(input_vars) - {x_variable, y_variable} - set(fixed)
+        if remaining:
+            raise ValueError(
+                f"fixed values required for input variables: {sorted(remaining)}"
+            )
+        xs = np.linspace(*input_vars[x_variable].universe, resolution)
+        ys = np.linspace(*input_vars[y_variable].universe, resolution)
+        surface = np.zeros((resolution, resolution))
+        for i, y in enumerate(ys):
+            for j, x in enumerate(xs):
+                inputs = {**fixed, x_variable: float(x), y_variable: float(y)}
+                surface[i, j] = self.infer(inputs)[output]
+        return xs, ys, surface
+
+
+class SugenoEngine(MamdaniEngine):
+    """Zero-order Takagi–Sugeno engine: consequents collapse to term centroids.
+
+    Output is the firing-strength-weighted average of consequent term
+    centroids.  Provided for the controller ablation; the paper's system is
+    Mamdani.
+    """
+
+    def __init__(
+        self,
+        rule_base: RuleBase,
+        tnorm: TNorm = PRODUCT,
+        snorm: SNorm = MAXIMUM,
+    ):
+        super().__init__(rule_base, tnorm=tnorm, snorm=snorm)
+        self._term_centroids: dict[str, dict[str, float]] = {
+            var_name: {term.name: term.membership.centroid() for term in var}
+            for var_name, var in rule_base.output_variables.items()
+        }
+
+    def infer(self, inputs: Mapping[str, float]) -> InferenceResult:
+        degrees = self.fuzzify(inputs)
+        activations: list[RuleActivation] = []
+        numerator: dict[str, float] = {
+            name: 0.0 for name in self._rule_base.output_variables
+        }
+        denominator: dict[str, float] = {
+            name: 0.0 for name in self._rule_base.output_variables
+        }
+        for rule in self._rule_base:
+            strength = rule.firing_strength(degrees, self._tnorm, self._snorm)
+            activations.append(RuleActivation(rule, strength))
+            if strength <= 0.0:
+                continue
+            for consequent in rule.consequents:
+                centroid = self._term_centroids[consequent.variable][consequent.term]
+                numerator[consequent.variable] += strength * centroid
+                denominator[consequent.variable] += strength
+
+        outputs: dict[str, float] = {}
+        aggregated: dict[str, np.ndarray] = {}
+        for name, variable in self._rule_base.output_variables.items():
+            if denominator[name] <= 0.0:
+                raise DefuzzificationError(
+                    f"no rule fired for output variable {name!r} with inputs {dict(inputs)!r}"
+                )
+            outputs[name] = numerator[name] / denominator[name]
+            aggregated[name] = np.zeros(variable.resolution)
+        return InferenceResult(
+            outputs=outputs,
+            fuzzified_inputs=degrees,
+            activations=tuple(activations),
+            aggregated=aggregated,
+        )

@@ -1,0 +1,224 @@
+"""Fuzzy set operators: t-norms, s-norms (t-conorms), complements, aggregation.
+
+The Mamdani controllers in the paper use the classic ``min`` conjunction /
+``max`` aggregation, but the toolkit exposes the usual families so rule
+conjunction, disjunction and aggregation strategies are pluggable (these are
+exercised by the ablation benches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = [
+    "TNorm",
+    "SNorm",
+    "Complement",
+    "MINIMUM",
+    "PRODUCT",
+    "LUKASIEWICZ_AND",
+    "DRASTIC_AND",
+    "NILPOTENT_AND",
+    "HAMACHER_AND",
+    "MAXIMUM",
+    "PROBABILISTIC_SUM",
+    "BOUNDED_SUM",
+    "DRASTIC_OR",
+    "NILPOTENT_OR",
+    "EINSTEIN_OR",
+    "STANDARD_COMPLEMENT",
+    "SUGENO_COMPLEMENT",
+    "YAGER_COMPLEMENT",
+    "tnorm_by_name",
+    "snorm_by_name",
+    "aggregate",
+]
+
+ArrayLike = float | np.ndarray
+
+
+@dataclass(frozen=True)
+class TNorm:
+    """A fuzzy conjunction (t-norm) with a display name."""
+
+    name: str
+    fn: Callable[[ArrayLike, ArrayLike], ArrayLike]
+
+    def __call__(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
+        return self.fn(a, b)
+
+    def reduce(self, values: Iterable[float]) -> float:
+        """Fold the t-norm over an iterable of membership degrees."""
+        result: float | None = None
+        for value in values:
+            result = float(value) if result is None else float(self.fn(result, value))
+        if result is None:
+            raise ValueError("cannot reduce an empty sequence of membership degrees")
+        return result
+
+
+@dataclass(frozen=True)
+class SNorm:
+    """A fuzzy disjunction (s-norm / t-conorm) with a display name."""
+
+    name: str
+    fn: Callable[[ArrayLike, ArrayLike], ArrayLike]
+
+    def __call__(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
+        return self.fn(a, b)
+
+    def reduce(self, values: Iterable[float]) -> float:
+        """Fold the s-norm over an iterable of membership degrees."""
+        result: float | None = None
+        for value in values:
+            result = float(value) if result is None else float(self.fn(result, value))
+        if result is None:
+            raise ValueError("cannot reduce an empty sequence of membership degrees")
+        return result
+
+
+@dataclass(frozen=True)
+class Complement:
+    """A fuzzy negation with a display name."""
+
+    name: str
+    fn: Callable[[ArrayLike], ArrayLike]
+
+    def __call__(self, a: ArrayLike) -> ArrayLike:
+        return self.fn(a)
+
+
+# ----------------------------------------------------------------------
+# t-norms (conjunctions)
+# ----------------------------------------------------------------------
+def _drastic_and(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    a_arr, b_arr = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+    result = np.where(a_arr >= 1.0, b_arr, np.where(b_arr >= 1.0, a_arr, 0.0))
+    return result if result.ndim else float(result)
+
+
+def _nilpotent_and(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    a_arr, b_arr = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+    result = np.where(a_arr + b_arr > 1.0, np.minimum(a_arr, b_arr), 0.0)
+    return result if result.ndim else float(result)
+
+
+def _hamacher_and(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    a_arr, b_arr = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+    denom = a_arr + b_arr - a_arr * b_arr
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.where(denom > 0.0, (a_arr * b_arr) / np.where(denom > 0, denom, 1.0), 0.0)
+    return result if result.ndim else float(result)
+
+
+MINIMUM = TNorm("minimum", lambda a, b: np.minimum(a, b))
+PRODUCT = TNorm("product", lambda a, b: np.multiply(a, b))
+LUKASIEWICZ_AND = TNorm("lukasiewicz", lambda a, b: np.maximum(0.0, np.add(a, b) - 1.0))
+DRASTIC_AND = TNorm("drastic", _drastic_and)
+NILPOTENT_AND = TNorm("nilpotent", _nilpotent_and)
+HAMACHER_AND = TNorm("hamacher", _hamacher_and)
+
+
+# ----------------------------------------------------------------------
+# s-norms (disjunctions)
+# ----------------------------------------------------------------------
+def _drastic_or(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    a_arr, b_arr = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+    result = np.where(a_arr <= 0.0, b_arr, np.where(b_arr <= 0.0, a_arr, 1.0))
+    return result if result.ndim else float(result)
+
+
+def _nilpotent_or(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    a_arr, b_arr = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+    result = np.where(a_arr + b_arr < 1.0, np.maximum(a_arr, b_arr), 1.0)
+    return result if result.ndim else float(result)
+
+
+def _einstein_or(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    a_arr, b_arr = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+    result = (a_arr + b_arr) / (1.0 + a_arr * b_arr)
+    return result if result.ndim else float(result)
+
+
+MAXIMUM = SNorm("maximum", lambda a, b: np.maximum(a, b))
+PROBABILISTIC_SUM = SNorm(
+    "probabilistic_sum", lambda a, b: np.add(a, b) - np.multiply(a, b)
+)
+BOUNDED_SUM = SNorm("bounded_sum", lambda a, b: np.minimum(1.0, np.add(a, b)))
+DRASTIC_OR = SNorm("drastic", _drastic_or)
+NILPOTENT_OR = SNorm("nilpotent", _nilpotent_or)
+EINSTEIN_OR = SNorm("einstein", _einstein_or)
+
+
+# ----------------------------------------------------------------------
+# complements
+# ----------------------------------------------------------------------
+STANDARD_COMPLEMENT = Complement("standard", lambda a: 1.0 - np.asarray(a, dtype=float))
+
+
+def SUGENO_COMPLEMENT(lam: float) -> Complement:
+    """Sugeno-class complement ``(1 - a) / (1 + lam a)`` for ``lam > -1``."""
+    if lam <= -1.0:
+        raise ValueError(f"Sugeno complement requires lambda > -1, got {lam}")
+    return Complement(
+        f"sugeno({lam})",
+        lambda a: (1.0 - np.asarray(a, dtype=float)) / (1.0 + lam * np.asarray(a, dtype=float)),
+    )
+
+
+def YAGER_COMPLEMENT(w: float) -> Complement:
+    """Yager-class complement ``(1 - a^w)^(1/w)`` for ``w > 0``."""
+    if w <= 0.0:
+        raise ValueError(f"Yager complement requires w > 0, got {w}")
+    return Complement(
+        f"yager({w})",
+        lambda a: (1.0 - np.asarray(a, dtype=float) ** w) ** (1.0 / w),
+    )
+
+
+_TNORMS: dict[str, TNorm] = {
+    norm.name: norm
+    for norm in (MINIMUM, PRODUCT, LUKASIEWICZ_AND, DRASTIC_AND, NILPOTENT_AND, HAMACHER_AND)
+}
+_SNORMS: dict[str, SNorm] = {
+    norm.name: norm
+    for norm in (MAXIMUM, PROBABILISTIC_SUM, BOUNDED_SUM, DRASTIC_OR, NILPOTENT_OR, EINSTEIN_OR)
+}
+
+
+def tnorm_by_name(name: str) -> TNorm:
+    """Look up a t-norm by its registered name (e.g. ``"minimum"``)."""
+    try:
+        return _TNORMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown t-norm {name!r}; available: {sorted(_TNORMS)}"
+        ) from None
+
+
+def snorm_by_name(name: str) -> SNorm:
+    """Look up an s-norm by its registered name (e.g. ``"maximum"``)."""
+    try:
+        return _SNORMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown s-norm {name!r}; available: {sorted(_SNORMS)}"
+        ) from None
+
+
+def aggregate(snorm: SNorm, surfaces: Iterable[np.ndarray]) -> np.ndarray:
+    """Aggregate clipped rule-output surfaces sampled on a common universe.
+
+    Returns the element-wise s-norm fold of the surfaces; an empty iterable
+    raises ``ValueError`` because aggregation of nothing is undefined.
+    """
+    result: np.ndarray | None = None
+    for surface in surfaces:
+        arr = np.asarray(surface, dtype=float)
+        result = arr.copy() if result is None else np.asarray(snorm(result, arr))
+    if result is None:
+        raise ValueError("cannot aggregate an empty collection of surfaces")
+    return result

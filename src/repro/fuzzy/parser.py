@@ -1,0 +1,218 @@
+"""A small text DSL for fuzzy rules.
+
+Grammar (case-insensitive keywords, whitespace-insensitive)::
+
+    rule        := "IF" antecedent "THEN" consequents
+    antecedent  := or_expr
+    or_expr     := and_expr ("OR" and_expr)*
+    and_expr    := unary_expr ("AND" unary_expr)*
+    unary_expr  := "NOT" unary_expr | "(" or_expr ")" | proposition
+    proposition := IDENT "IS" [hedge] IDENT
+    consequents := consequent ("AND" consequent)*
+    consequent  := IDENT "IS" IDENT
+
+Example::
+
+    IF S is Sl AND A is B1 AND D is N THEN Cv is Cv3
+
+This is how the FRB1/FRB2 tables are materialised into
+:class:`~repro.fuzzy.rules.FuzzyRule` objects, which keeps the rule tables in
+the code byte-for-byte comparable with Tables 1 and 2 of the paper.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .hedges import hedge_by_name
+from .rules import And, Antecedent, Consequent, FuzzyRule, Not, Or, Proposition
+
+__all__ = ["parse_rule", "parse_rules", "RuleSyntaxError"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<word>[A-Za-z_][A-Za-z0-9_/\-]*))"
+)
+
+_KEYWORDS = {"if", "then", "is", "and", "or", "not"}
+
+
+class RuleSyntaxError(ValueError):
+    """Raised when a rule string cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "word", "lparen", "rparen"
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise RuleSyntaxError(
+                f"unexpected character {remainder[0]!r} at position {pos} in rule: {text!r}"
+            )
+        if match.lastgroup == "word":
+            tokens.append(_Token("word", match.group("word"), match.start("word")))
+        elif match.lastgroup == "lparen":
+            tokens.append(_Token("lparen", "(", match.start()))
+        elif match.lastgroup == "rparen":
+            tokens.append(_Token("rparen", ")", match.start()))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise RuleSyntaxError(f"unexpected end of rule: {self.text!r}")
+        self.index += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if token.kind != "word" or token.text.lower() != keyword:
+            raise RuleSyntaxError(
+                f"expected {keyword.upper()!r} but found {token.text!r} "
+                f"at position {token.position} in rule: {self.text!r}"
+            )
+
+    def _peek_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "word" and token.text.lower() == keyword
+
+    # -- grammar -------------------------------------------------------
+    def parse_rule(self, weight: float, label: str) -> FuzzyRule:
+        self._expect_keyword("if")
+        antecedent = self._parse_or()
+        self._expect_keyword("then")
+        consequents = self._parse_consequents()
+        if self._peek() is not None:
+            token = self._peek()
+            raise RuleSyntaxError(
+                f"unexpected trailing token {token.text!r} in rule: {self.text!r}"
+            )
+        return FuzzyRule(antecedent, tuple(consequents), weight=weight, label=label)
+
+    def _parse_or(self) -> Antecedent:
+        operands = [self._parse_and()]
+        while self._peek_keyword("or"):
+            self._next()
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def _parse_and(self) -> Antecedent:
+        operands = [self._parse_unary()]
+        while self._peek_keyword("and"):
+            self._next()
+            operands.append(self._parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def _parse_unary(self) -> Antecedent:
+        if self._peek_keyword("not"):
+            self._next()
+            return Not(self._parse_unary())
+        token = self._peek()
+        if token is not None and token.kind == "lparen":
+            self._next()
+            inner = self._parse_or()
+            closing = self._next()
+            if closing.kind != "rparen":
+                raise RuleSyntaxError(
+                    f"expected ')' but found {closing.text!r} in rule: {self.text!r}"
+                )
+            return inner
+        return self._parse_proposition()
+
+    def _parse_proposition(self) -> Proposition:
+        variable = self._parse_identifier("variable name")
+        self._expect_keyword("is")
+        first = self._parse_identifier("term name")
+        # Optional hedge: "S is very Fast" — 'very' resolves as a hedge and the
+        # following word becomes the term.
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "word" and nxt.text.lower() not in _KEYWORDS:
+            try:
+                hedge = hedge_by_name(first)
+            except KeyError:
+                raise RuleSyntaxError(
+                    f"unexpected token {nxt.text!r} after term {first!r} "
+                    f"in rule: {self.text!r}"
+                ) from None
+            term = self._parse_identifier("term name")
+            return Proposition(variable, term, hedge=hedge)
+        return Proposition(variable, first)
+
+    def _parse_consequents(self) -> list[Consequent]:
+        consequents = [self._parse_consequent()]
+        while self._peek_keyword("and"):
+            self._next()
+            consequents.append(self._parse_consequent())
+        return consequents
+
+    def _parse_consequent(self) -> Consequent:
+        variable = self._parse_identifier("output variable name")
+        self._expect_keyword("is")
+        term = self._parse_identifier("output term name")
+        return Consequent(variable, term)
+
+    def _parse_identifier(self, what: str) -> str:
+        token = self._next()
+        if token.kind != "word" or token.text.lower() in _KEYWORDS:
+            raise RuleSyntaxError(
+                f"expected {what} but found {token.text!r} "
+                f"at position {token.position} in rule: {self.text!r}"
+            )
+        return token.text
+
+
+def parse_rule(text: str, weight: float = 1.0, label: str = "") -> FuzzyRule:
+    """Parse a single ``IF ... THEN ...`` rule string into a :class:`FuzzyRule`."""
+    stripped = text.strip()
+    if not stripped:
+        raise RuleSyntaxError("cannot parse an empty rule string")
+    return _Parser(stripped).parse_rule(weight, label)
+
+
+def parse_rules(lines: str | list[str]) -> list[FuzzyRule]:
+    """Parse many rules from a multi-line string or list of strings.
+
+    Blank lines and lines starting with ``#`` are ignored; rules are labelled
+    with their ordinal position (``"0"``, ``"1"``, ...), matching the rule
+    numbering of Tables 1 and 2.
+    """
+    if isinstance(lines, str):
+        raw_lines = lines.splitlines()
+    else:
+        raw_lines = list(lines)
+    rules: list[FuzzyRule] = []
+    for raw in raw_lines:
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rules.append(parse_rule(stripped, label=str(len(rules))))
+    return rules

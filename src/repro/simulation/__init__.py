@@ -1,0 +1,48 @@
+"""Simulation and experiment layer: configs, batch runs, sweeps, network runs."""
+
+from .config import BatchExperimentConfig, NetworkExperimentConfig, PAPER_REQUEST_COUNTS
+from .batch import BatchCallRecord, BatchRunOutput, run_batch_experiment
+from .engine import NetworkRunOutput, NetworkSimulation, run_network_experiment
+from .results import AggregatedResult, RunResult, aggregate_runs
+from .scenario import (
+    PAPER_ANGLE_VALUES_DEG,
+    PAPER_DISTANCE_VALUES_KM,
+    PAPER_SPEED_VALUES_KMH,
+    angle_sweep_variants,
+    baseline_comparison_variants,
+    controller_comparison_variants,
+    distance_sweep_variants,
+    facs_factory,
+    scc_factory,
+    speed_sweep_variants,
+)
+from .sweep import SweepCurve, SweepPoint, SweepResult, run_acceptance_sweep
+
+__all__ = [
+    "BatchExperimentConfig",
+    "NetworkExperimentConfig",
+    "PAPER_REQUEST_COUNTS",
+    "BatchCallRecord",
+    "BatchRunOutput",
+    "run_batch_experiment",
+    "NetworkRunOutput",
+    "NetworkSimulation",
+    "run_network_experiment",
+    "RunResult",
+    "AggregatedResult",
+    "aggregate_runs",
+    "SweepPoint",
+    "SweepCurve",
+    "SweepResult",
+    "run_acceptance_sweep",
+    "facs_factory",
+    "scc_factory",
+    "PAPER_SPEED_VALUES_KMH",
+    "PAPER_ANGLE_VALUES_DEG",
+    "PAPER_DISTANCE_VALUES_KM",
+    "speed_sweep_variants",
+    "angle_sweep_variants",
+    "distance_sweep_variants",
+    "controller_comparison_variants",
+    "baseline_comparison_variants",
+]

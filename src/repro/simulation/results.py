@@ -1,0 +1,82 @@
+"""Result records and aggregation across replications."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..cellular.metrics import CallMetrics
+
+__all__ = ["RunResult", "AggregatedResult", "aggregate_runs"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulation run with one controller."""
+
+    controller: str
+    metrics: CallMetrics
+    parameters: Mapping[str, float] = field(default_factory=dict)
+    seed: int = 0
+
+    @property
+    def acceptance_percentage(self) -> float:
+        return self.metrics.acceptance_percentage
+
+    @property
+    def blocking_probability(self) -> float:
+        return self.metrics.blocking_probability
+
+    @property
+    def dropping_probability(self) -> float:
+        return self.metrics.dropping_probability
+
+
+@dataclass(frozen=True)
+class AggregatedResult:
+    """Mean and spread of a metric over replications of the same scenario."""
+
+    controller: str
+    parameters: Mapping[str, float]
+    replications: int
+    mean_acceptance_percentage: float
+    std_acceptance_percentage: float
+    mean_blocking_probability: float
+    mean_dropping_probability: float
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Approximate CI of the mean acceptance percentage (normal theory)."""
+        if self.replications <= 1:
+            return (self.mean_acceptance_percentage, self.mean_acceptance_percentage)
+        half_width = z * self.std_acceptance_percentage / math.sqrt(self.replications)
+        return (
+            self.mean_acceptance_percentage - half_width,
+            self.mean_acceptance_percentage + half_width,
+        )
+
+
+def aggregate_runs(runs: Sequence[RunResult]) -> AggregatedResult:
+    """Aggregate replications of the same (controller, parameters) scenario."""
+    if not runs:
+        raise ValueError("cannot aggregate an empty list of runs")
+    controllers = {run.controller for run in runs}
+    if len(controllers) != 1:
+        raise ValueError(f"runs mix controllers: {sorted(controllers)}")
+    acceptance = [run.acceptance_percentage for run in runs]
+    blocking = [run.blocking_probability for run in runs]
+    dropping = [run.dropping_probability for run in runs]
+    mean_acc = sum(acceptance) / len(acceptance)
+    if len(acceptance) > 1:
+        variance = sum((a - mean_acc) ** 2 for a in acceptance) / (len(acceptance) - 1)
+    else:
+        variance = 0.0
+    return AggregatedResult(
+        controller=runs[0].controller,
+        parameters=dict(runs[0].parameters),
+        replications=len(runs),
+        mean_acceptance_percentage=mean_acc,
+        std_acceptance_percentage=math.sqrt(variance),
+        mean_blocking_probability=sum(blocking) / len(blocking),
+        mean_dropping_probability=sum(dropping) / len(dropping),
+    )

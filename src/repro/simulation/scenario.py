@@ -1,0 +1,124 @@
+"""Named scenario builders: the paper's figure workloads as ready-made configs.
+
+Each builder returns the ``variants`` mapping expected by
+:func:`repro.simulation.sweep.run_acceptance_sweep`: curve label → (batch
+config, controller factory).  The experiments layer and the examples both go
+through these builders so the workload definitions live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..cac.base import AdmissionController
+from ..cac.complete_sharing import CompleteSharingController
+from ..cac.facs.system import FACSConfig, FuzzyAdmissionControlSystem
+from ..cac.guard_channel import GuardChannelController
+from ..cac.scc.system import SCCConfig, ShadowClusterController
+from ..cac.threshold_policy import ThresholdPolicyController
+from ..cellular.mobility import UserProfile
+from .config import BatchExperimentConfig
+
+__all__ = [
+    "facs_factory",
+    "scc_factory",
+    "PAPER_SPEED_VALUES_KMH",
+    "PAPER_ANGLE_VALUES_DEG",
+    "PAPER_DISTANCE_VALUES_KM",
+    "speed_sweep_variants",
+    "angle_sweep_variants",
+    "distance_sweep_variants",
+    "controller_comparison_variants",
+    "baseline_comparison_variants",
+]
+
+ControllerFactory = Callable[[], AdmissionController]
+Variant = tuple[BatchExperimentConfig, ControllerFactory]
+
+#: Curve parameters of Fig. 7 (user speed in km/h).
+PAPER_SPEED_VALUES_KMH: tuple[float, ...] = (4.0, 10.0, 30.0, 60.0)
+#: Curve parameters of Fig. 8 (user angle in degrees).
+PAPER_ANGLE_VALUES_DEG: tuple[float, ...] = (0.0, 30.0, 50.0, 60.0, 90.0)
+#: Curve parameters of Fig. 9 (user-to-BS distance in km).
+PAPER_DISTANCE_VALUES_KM: tuple[float, ...] = (1.0, 3.0, 7.0, 10.0)
+
+
+def facs_factory(config: FACSConfig | None = None) -> ControllerFactory:
+    """Factory of FACS controllers (one fresh instance per run)."""
+    return lambda: FuzzyAdmissionControlSystem(config)
+
+
+def scc_factory(config: SCCConfig | None = None) -> ControllerFactory:
+    """Factory of SCC controllers (one fresh instance per run)."""
+    return lambda: ShadowClusterController(config)
+
+
+def _base_config(seed: int) -> BatchExperimentConfig:
+    return BatchExperimentConfig(seed=seed)
+
+
+def speed_sweep_variants(
+    speeds_kmh: Sequence[float] = PAPER_SPEED_VALUES_KMH,
+    seed: int = 20070607,
+    facs_config: FACSConfig | None = None,
+) -> Mapping[str, Variant]:
+    """Fig. 7 workload: fixed speed per curve, random angle and distance."""
+    variants: dict[str, Variant] = {}
+    for speed in speeds_kmh:
+        profile = UserProfile(speed_kmh=speed)
+        config = _base_config(seed).with_profile(profile)
+        variants[f"{speed:g}km/h"] = (config, facs_factory(facs_config))
+    return variants
+
+
+def angle_sweep_variants(
+    angles_deg: Sequence[float] = PAPER_ANGLE_VALUES_DEG,
+    seed: int = 20070608,
+    facs_config: FACSConfig | None = None,
+) -> Mapping[str, Variant]:
+    """Fig. 8 workload: fixed angle per curve, random speed and distance."""
+    variants: dict[str, Variant] = {}
+    for angle in angles_deg:
+        profile = UserProfile(angle_deg=angle)
+        config = _base_config(seed).with_profile(profile)
+        variants[f"Angle={angle:g}"] = (config, facs_factory(facs_config))
+    return variants
+
+
+def distance_sweep_variants(
+    distances_km: Sequence[float] = PAPER_DISTANCE_VALUES_KM,
+    seed: int = 20070609,
+    facs_config: FACSConfig | None = None,
+) -> Mapping[str, Variant]:
+    """Fig. 9 workload: fixed distance per curve, random speed and angle."""
+    variants: dict[str, Variant] = {}
+    for distance in distances_km:
+        profile = UserProfile(distance_km=distance)
+        config = _base_config(seed).with_profile(profile)
+        variants[f"{distance:g}km"] = (config, facs_factory(facs_config))
+    return variants
+
+
+def controller_comparison_variants(
+    seed: int = 20070610,
+    facs_config: FACSConfig | None = None,
+    scc_config: SCCConfig | None = None,
+) -> Mapping[str, Variant]:
+    """Fig. 10 workload: fully random user attributes, FACS vs SCC."""
+    config = _base_config(seed)
+    return {
+        "FACS": (config, facs_factory(facs_config)),
+        "SCC": (config, scc_factory(scc_config)),
+    }
+
+
+def baseline_comparison_variants(seed: int = 20070611) -> Mapping[str, Variant]:
+    """Ablation workload: FACS against the classic non-fuzzy baselines."""
+    config = _base_config(seed)
+    return {
+        "FACS": (config, facs_factory()),
+        "SCC": (config, scc_factory()),
+        "CS": (config, CompleteSharingController),
+        "GuardChannel": (config, GuardChannelController),
+        "Threshold": (config, ThresholdPolicyController),
+    }

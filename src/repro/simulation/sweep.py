@@ -1,0 +1,120 @@
+"""Parameter sweeps with replications for the figure experiments.
+
+A sweep varies the number of requesting connections (the x axis of every
+figure) for one or more scenario variants (the curves: speed values, angle
+values, distance values, or controllers) and averages each point over several
+independent replications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..cac.base import AdmissionController
+from .batch import ControllerFactory, run_batch_experiment
+from .config import BatchExperimentConfig, PAPER_REQUEST_COUNTS
+from .results import AggregatedResult, RunResult, aggregate_runs
+
+__all__ = ["SweepPoint", "SweepCurve", "SweepResult", "run_acceptance_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (x, y) point of a figure curve with its replication spread."""
+
+    request_count: int
+    acceptance_percentage: float
+    std_percentage: float
+    replications: int
+
+
+@dataclass(frozen=True)
+class SweepCurve:
+    """One labelled curve (e.g. "speed=60 km/h" or "FACS")."""
+
+    label: str
+    controller: str
+    points: tuple[SweepPoint, ...]
+
+    def acceptance_series(self) -> list[float]:
+        return [point.acceptance_percentage for point in self.points]
+
+    def request_counts(self) -> list[int]:
+        return [point.request_count for point in self.points]
+
+    def point_at(self, request_count: int) -> SweepPoint:
+        for point in self.points:
+            if point.request_count == request_count:
+                return point
+        raise KeyError(f"curve {self.label!r} has no point at {request_count} requests")
+
+    def mean_acceptance(self) -> float:
+        """Average acceptance percentage across the whole curve."""
+        series = self.acceptance_series()
+        return sum(series) / len(series)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A family of curves sharing the same x axis (one per figure)."""
+
+    name: str
+    curves: tuple[SweepCurve, ...]
+
+    def curve(self, label: str) -> SweepCurve:
+        for curve in self.curves:
+            if curve.label == label:
+                return curve
+        raise KeyError(
+            f"sweep {self.name!r} has no curve {label!r}; "
+            f"available: {[c.label for c in self.curves]}"
+        )
+
+    def labels(self) -> list[str]:
+        return [curve.label for curve in self.curves]
+
+
+def run_acceptance_sweep(
+    name: str,
+    variants: Mapping[str, tuple[BatchExperimentConfig, ControllerFactory]],
+    request_counts: Sequence[int] = PAPER_REQUEST_COUNTS,
+    replications: int = 10,
+) -> SweepResult:
+    """Run the acceptance-vs-requests sweep for several scenario variants.
+
+    ``variants`` maps a curve label to a (base config, controller factory)
+    pair; for each requested connection count, ``replications`` independent
+    runs (different seeds) are executed and averaged.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    if not variants:
+        raise ValueError("at least one variant is required")
+    if not request_counts:
+        raise ValueError("at least one request count is required")
+
+    curves: list[SweepCurve] = []
+    for label, (base_config, controller_factory) in variants.items():
+        points: list[SweepPoint] = []
+        controller_name = ""
+        for request_count in request_counts:
+            runs: list[RunResult] = []
+            for replication in range(replications):
+                config = base_config.with_requests(request_count).with_seed(
+                    base_config.seed, replication=replication
+                )
+                output = run_batch_experiment(config, controller_factory)
+                runs.append(output.result)
+            aggregated: AggregatedResult = aggregate_runs(runs)
+            controller_name = aggregated.controller
+            points.append(
+                SweepPoint(
+                    request_count=request_count,
+                    acceptance_percentage=aggregated.mean_acceptance_percentage,
+                    std_percentage=aggregated.std_acceptance_percentage,
+                    replications=aggregated.replications,
+                )
+            )
+        curves.append(SweepCurve(label=label, controller=controller_name, points=tuple(points)))
+    return SweepResult(name=name, curves=tuple(curves))

@@ -1,0 +1,174 @@
+"""Tests for statistics helpers, ASCII tables/plots and CSV export."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.io import read_sweep_csv, sweep_to_rows, write_sweep_csv
+from repro.analysis.plotting import ascii_line_plot, ascii_membership_plot
+from repro.analysis.stats import paired_difference, summarize, t_confidence_interval
+from repro.analysis.tables import format_curve_table, format_table
+from repro.simulation.sweep import SweepCurve, SweepPoint, SweepResult
+
+
+class TestStats:
+    def test_summarize_basic(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.count == 4
+        assert summary.standard_error > 0.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_t_interval_contains_mean(self):
+        values = [10.0, 12.0, 11.0, 13.0, 9.0]
+        low, high = t_confidence_interval(values)
+        mean = sum(values) / len(values)
+        assert low < mean < high
+
+    def test_t_interval_wider_for_higher_confidence(self):
+        values = [10.0, 12.0, 11.0, 13.0, 9.0]
+        narrow = t_confidence_interval(values, confidence=0.8)
+        wide = t_confidence_interval(values, confidence=0.99)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+    def test_t_interval_degenerate_cases(self):
+        assert t_confidence_interval([5.0]) == (5.0, 5.0)
+        assert t_confidence_interval([5.0, 5.0, 5.0]) == (5.0, 5.0)
+        with pytest.raises(ValueError):
+            t_confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_paired_difference(self):
+        facs = [95.0, 90.0, 85.0]
+        scc = [90.0, 88.0, 80.0]
+        mean_diff, (low, high) = paired_difference(facs, scc)
+        assert mean_diff == pytest.approx(4.0)
+        assert low <= mean_diff <= high
+
+    def test_paired_difference_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_difference([1.0], [1.0, 2.0])
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    @settings(max_examples=50)
+    def test_interval_is_symmetric_around_mean(self, values):
+        low, high = t_confidence_interval(values)
+        mean = sum(values) / len(values)
+        assert (mean - low) == pytest.approx(high - mean, abs=1e-6)
+
+
+class TestTables:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["Name", "Value"], [["alpha", 1.5], ["beta", 20]], title="Demo")
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "Name" in lines[1] and "Value" in lines[1]
+        assert "alpha" in text and "1.50" in text
+
+    def test_format_table_validation(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_format_curve_table(self):
+        text = format_curve_table("N", [10, 20], {"FACS": [99.0, 95.0], "SCC": [97.0, 96.0]})
+        assert "FACS" in text and "SCC" in text
+        assert "99.00" in text
+
+    def test_format_curve_table_validation(self):
+        with pytest.raises(ValueError):
+            format_curve_table("N", [10], {})
+        with pytest.raises(ValueError):
+            format_curve_table("N", [10, 20], {"FACS": [1.0]})
+
+
+class TestPlots:
+    def test_line_plot_contains_legend_and_markers(self):
+        text = ascii_line_plot(
+            [0.0, 50.0, 100.0],
+            {"FACS": [100.0, 90.0, 80.0], "SCC": [95.0, 92.0, 88.0]},
+            title="Fig. 10",
+        )
+        assert "Fig. 10" in text
+        assert "legend:" in text
+        assert "o = FACS" in text and "x = SCC" in text
+
+    def test_line_plot_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([0.0, 1.0], {})
+        with pytest.raises(ValueError):
+            ascii_line_plot([0.0], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_line_plot([0.0, 1.0], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_line_plot([1.0, 1.0], {"a": [1.0, 2.0]})
+
+    def test_flat_series_handled(self):
+        text = ascii_line_plot([0.0, 1.0, 2.0], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in text
+
+    def test_membership_plot(self):
+        samples = {
+            "low": [(0.0, 1.0), (5.0, 0.0), (10.0, 0.0)],
+            "high": [(0.0, 0.0), (5.0, 0.0), (10.0, 1.0)],
+        }
+        text = ascii_membership_plot(samples, title="terms")
+        assert "terms" in text and "membership" in text
+
+    def test_membership_plot_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_membership_plot({})
+
+
+def _sweep() -> SweepResult:
+    points = tuple(
+        SweepPoint(request_count=n, acceptance_percentage=100.0 - n / 2, std_percentage=1.0, replications=3)
+        for n in (10, 50, 100)
+    )
+    return SweepResult(
+        name="demo-sweep",
+        curves=(
+            SweepCurve(label="FACS", controller="FACS", points=points),
+            SweepCurve(label="SCC", controller="SCC", points=points),
+        ),
+    )
+
+
+class TestCsvRoundtrip:
+    def test_rows_structure(self):
+        rows = sweep_to_rows(_sweep())
+        assert len(rows) == 6
+        assert rows[0]["curve"] == "FACS"
+        assert rows[0]["request_count"] == 10
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        sweep = _sweep()
+        path = write_sweep_csv(sweep, tmp_path / "out" / "sweep.csv")
+        assert path.exists()
+        loaded = read_sweep_csv(path)
+        assert loaded.name == sweep.name
+        assert loaded.labels() == sweep.labels()
+        original = sweep.curve("FACS").acceptance_series()
+        restored = loaded.curve("FACS").acceptance_series()
+        assert restored == pytest.approx(original)
+
+    def test_read_missing_columns_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            read_sweep_csv(bad)
+
+    def test_read_empty_csv_rejected(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text(
+            "sweep,curve,controller,request_count,acceptance_percentage,std_percentage,replications\n"
+        )
+        with pytest.raises(ValueError):
+            read_sweep_csv(empty)

@@ -1,0 +1,146 @@
+"""Tests for planar geometry, angle conventions and the hexagonal grid."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cellular.geometry import (
+    HexCoordinate,
+    Point,
+    Vector,
+    heading_between,
+    hex_ring,
+    hex_spiral,
+    normalize_angle,
+    relative_angle,
+)
+
+
+class TestPointAndVector:
+    def test_distance(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_translate(self):
+        moved = Point(1.0, 1.0).translate(Vector(2.0, -1.0))
+        assert (moved.x, moved.y) == (3.0, 0.0)
+
+    def test_point_iterable(self):
+        assert tuple(Point(1.5, 2.5)) == (1.5, 2.5)
+
+    def test_vector_from_polar_cardinal_directions(self):
+        east = Vector.from_polar(10.0, 0.0)
+        assert east.dx == pytest.approx(10.0) and east.dy == pytest.approx(0.0)
+        north = Vector.from_polar(10.0, 90.0)
+        assert north.dx == pytest.approx(0.0, abs=1e-9) and north.dy == pytest.approx(10.0)
+
+    def test_vector_magnitude_and_angle_roundtrip(self):
+        vector = Vector.from_polar(7.5, 123.0)
+        assert vector.magnitude == pytest.approx(7.5)
+        assert vector.angle_degrees == pytest.approx(123.0)
+
+    def test_vector_addition_and_scaling(self):
+        combined = Vector(1.0, 2.0) + Vector(3.0, -1.0)
+        assert (combined.dx, combined.dy) == (4.0, 1.0)
+        scaled = Vector(1.0, 2.0).scale(2.0)
+        assert (scaled.dx, scaled.dy) == (2.0, 4.0)
+
+    def test_heading_between(self):
+        assert heading_between(Point(0, 0), Point(1, 0)) == pytest.approx(0.0)
+        assert heading_between(Point(0, 0), Point(0, 1)) == pytest.approx(90.0)
+        assert abs(heading_between(Point(0, 0), Point(-1, 0))) == pytest.approx(180.0)
+
+    @given(magnitude=st.floats(0.1, 100.0), angle=st.floats(-179.9, 179.9))
+    @settings(max_examples=50)
+    def test_polar_roundtrip_property(self, magnitude, angle):
+        vector = Vector.from_polar(magnitude, angle)
+        assert vector.magnitude == pytest.approx(magnitude, rel=1e-9)
+        assert vector.angle_degrees == pytest.approx(angle, abs=1e-6)
+
+
+class TestAngles:
+    def test_normalize_within_range(self):
+        assert normalize_angle(190.0) == pytest.approx(-170.0)
+        assert normalize_angle(-190.0) == pytest.approx(170.0)
+        assert normalize_angle(360.0) == pytest.approx(0.0)
+        assert normalize_angle(45.0) == pytest.approx(45.0)
+
+    def test_normalize_keeps_plus_180(self):
+        assert normalize_angle(180.0) == pytest.approx(180.0)
+
+    def test_relative_angle_straight_at_target(self):
+        # Heading 90, target bearing 90 -> angle 0 ("Straight")
+        assert relative_angle(90.0, 90.0) == pytest.approx(0.0)
+
+    def test_relative_angle_moving_away(self):
+        assert abs(relative_angle(-90.0, 90.0)) == pytest.approx(180.0)
+
+    @given(heading=st.floats(-180.0, 180.0), bearing=st.floats(-180.0, 180.0))
+    @settings(max_examples=100)
+    def test_relative_angle_always_in_range(self, heading, bearing):
+        angle = relative_angle(heading, bearing)
+        assert -180.0 <= angle <= 180.0
+
+
+class TestHexGrid:
+    def test_neighbor_count(self):
+        assert len(HexCoordinate(0, 0).neighbors()) == 6
+
+    def test_neighbors_at_distance_one(self):
+        center = HexCoordinate(0, 0)
+        for neighbor in center.neighbors():
+            assert center.distance_to(neighbor) == 1
+
+    def test_cube_coordinate_invariant(self):
+        coord = HexCoordinate(3, -1)
+        assert coord.q + coord.r + coord.s == 0
+
+    def test_distance_symmetry(self):
+        a, b = HexCoordinate(2, -1), HexCoordinate(-1, 3)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_to_point_from_point_roundtrip(self):
+        radius = 2.0
+        for q in range(-3, 4):
+            for r in range(-3, 4):
+                coord = HexCoordinate(q, r)
+                assert HexCoordinate.from_point(coord.to_point(radius), radius) == coord
+
+    def test_ring_sizes(self):
+        center = HexCoordinate(0, 0)
+        assert len(hex_ring(center, 0)) == 1
+        assert len(hex_ring(center, 1)) == 6
+        assert len(hex_ring(center, 2)) == 12
+
+    def test_ring_members_at_exact_distance(self):
+        center = HexCoordinate(0, 0)
+        for coord in hex_ring(center, 2):
+            assert center.distance_to(coord) == 2
+
+    def test_negative_ring_rejected(self):
+        with pytest.raises(ValueError):
+            hex_ring(HexCoordinate(0, 0), -1)
+
+    def test_spiral_sizes(self):
+        center = HexCoordinate(0, 0)
+        assert len(hex_spiral(center, 0)) == 1
+        assert len(hex_spiral(center, 1)) == 7
+        assert len(hex_spiral(center, 2)) == 19
+
+    def test_spiral_unique_cells(self):
+        cells = hex_spiral(HexCoordinate(0, 0), 3)
+        assert len(cells) == len(set(cells)) == 37
+
+    def test_negative_spiral_rejected(self):
+        with pytest.raises(ValueError):
+            hex_spiral(HexCoordinate(0, 0), -2)
+
+    @given(q=st.integers(-5, 5), r=st.integers(-5, 5))
+    @settings(max_examples=50)
+    def test_distance_triangle_inequality_via_origin(self, q, r):
+        origin = HexCoordinate(0, 0)
+        target = HexCoordinate(q, r)
+        mid = HexCoordinate(q, 0)
+        assert origin.distance_to(target) <= origin.distance_to(mid) + mid.distance_to(target)

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cac.facs import FLC1, FLC2, FuzzyAdmissionControlSystem
+from repro.cac.scc import ShadowClusterController
+from repro.cellular import BaseStation, Call, CallType, ServiceClass, UserState
+from repro.des import Environment, StreamFactory
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh discrete-event simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def streams() -> StreamFactory:
+    """A deterministic random stream factory."""
+    return StreamFactory(master_seed=424242)
+
+
+@pytest.fixture(scope="session")
+def flc1() -> FLC1:
+    """FLC1 is stateless; building it once per session keeps the suite fast."""
+    return FLC1()
+
+
+@pytest.fixture(scope="session")
+def flc2() -> FLC2:
+    """FLC2 is stateless; building it once per session keeps the suite fast."""
+    return FLC2()
+
+
+@pytest.fixture
+def facs() -> FuzzyAdmissionControlSystem:
+    """A fresh FACS controller (it is stateful via its counters)."""
+    return FuzzyAdmissionControlSystem()
+
+
+@pytest.fixture
+def scc() -> ShadowClusterController:
+    """A fresh SCC controller."""
+    return ShadowClusterController()
+
+
+@pytest.fixture
+def station() -> BaseStation:
+    """A base station with the paper's 40 BU capacity."""
+    return BaseStation()
+
+
+def make_call(
+    service: ServiceClass = ServiceClass.VOICE,
+    bandwidth: int | None = None,
+    call_type: CallType = CallType.NEW,
+    speed: float = 30.0,
+    angle: float = 0.0,
+    distance: float = 2.0,
+    holding: float = 120.0,
+) -> Call:
+    """Convenience constructor used across test modules."""
+    bandwidth_by_class = {
+        ServiceClass.TEXT: 1,
+        ServiceClass.VOICE: 5,
+        ServiceClass.VIDEO: 10,
+    }
+    return Call(
+        service=service,
+        bandwidth_units=bandwidth if bandwidth is not None else bandwidth_by_class[service],
+        call_type=call_type,
+        user_state=UserState(speed_kmh=speed, angle_deg=angle, distance_km=distance),
+        holding_time_s=holding,
+    )
+
+
+@pytest.fixture
+def call_factory():
+    """Expose :func:`make_call` as a fixture."""
+    return make_call

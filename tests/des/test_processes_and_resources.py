@@ -1,0 +1,277 @@
+"""Tests for generator processes, interrupts, resources and containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Container, Environment, Interruption, PriorityResource, Resource
+
+
+class TestProcesses:
+    def test_sequential_timeouts(self, env):
+        log = []
+
+        def proc(env):
+            yield env.timeout(1.0)
+            log.append(env.now)
+            yield env.timeout(2.0)
+            log.append(env.now)
+            return "done"
+
+        process = env.process(proc(env))
+        env.run()
+        assert log == [1.0, 3.0]
+        assert process.value == "done"
+
+    def test_process_requires_generator(self, env):
+        def not_a_generator(env):
+            return 42
+
+        with pytest.raises(TypeError):
+            env.process(not_a_generator(env))
+
+    def test_process_waits_for_process(self, env):
+        def child(env):
+            yield env.timeout(3.0)
+            return "child-result"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return (env.now, result)
+
+        parent_proc = env.process(parent(env))
+        env.run()
+        assert parent_proc.value == (3.0, "child-result")
+
+    def test_yielding_non_event_fails_process(self, env):
+        def proc(env):
+            yield 42
+
+        process = env.process(proc(env))
+        process.defuse()
+        env.run()
+        assert not process.ok
+        assert isinstance(process.exception, TypeError)
+
+    def test_exception_in_process_propagates(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            raise ValueError("exploded")
+
+        env.process(proc(env))
+        with pytest.raises(ValueError, match="exploded"):
+            env.run()
+
+    def test_process_failure_can_be_caught_by_waiter(self, env):
+        def failing(env):
+            yield env.timeout(1.0)
+            raise ValueError("inner")
+
+        def waiter(env):
+            try:
+                yield env.process(failing(env))
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        process = env.process(waiter(env))
+        env.run()
+        assert process.value == "caught inner"
+
+    def test_interrupt_raises_inside_process(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+            except Interruption as interruption:
+                return ("interrupted", interruption.cause, env.now)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(5.0)
+            victim_proc.interrupt(cause="preempted")
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        assert victim_proc.value == ("interrupted", "preempted", 5.0)
+
+    def test_interrupt_finished_process_rejected(self, env):
+        def quick(env):
+            yield env.timeout(1.0)
+
+        process = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError):
+            process.interrupt()
+
+    def test_is_alive_lifecycle(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+
+        process = env.process(proc(env))
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_yield_already_processed_event_resumes(self, env):
+        shared = env.timeout(1.0)
+
+        def late_waiter(env):
+            yield env.timeout(5.0)
+            value = yield shared  # already processed by now
+            return env.now
+
+        process = env.process(late_waiter(env))
+        env.run()
+        assert process.value == pytest.approx(5.0)
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, env):
+        resource = Resource(env, capacity=2)
+        log = []
+
+        def user(env, resource, name, hold):
+            with resource.request() as req:
+                yield req
+                log.append((name, env.now, "start"))
+                yield env.timeout(hold)
+            log.append((name, env.now, "end"))
+
+        for index in range(3):
+            env.process(user(env, resource, f"u{index}", 10.0))
+        env.run()
+        starts = {name: time for name, time, kind in log if kind == "start"}
+        assert starts["u0"] == 0.0 and starts["u1"] == 0.0
+        assert starts["u2"] == 10.0
+
+    def test_counts_and_queue_length(self, env):
+        resource = Resource(env, capacity=1)
+
+        def holder(env, resource):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        env.process(holder(env, resource))
+        env.process(holder(env, resource))
+        env.run(until=1.0)
+        assert resource.count == 1
+        assert resource.queue_length == 1
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_cancel_waiting_request(self, env):
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        assert resource.queue_length == 1
+        second.cancel()
+        assert resource.queue_length == 0
+
+    def test_priority_resource_orders_waiters(self, env):
+        resource = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(env, resource, name, priority, delay):
+            yield env.timeout(delay)
+            request = resource.request(priority=priority)
+            yield request
+            order.append(name)
+            yield env.timeout(10.0)
+            resource.release(request)
+
+        env.process(user(env, resource, "holder", 0, 0.0))
+        env.process(user(env, resource, "low-priority", 5, 1.0))
+        env.process(user(env, resource, "high-priority", 0, 2.0))
+        env.run()
+        assert order == ["holder", "high-priority", "low-priority"]
+
+
+class TestContainer:
+    def test_initial_level_defaults_to_capacity(self, env):
+        container = Container(env, capacity=40.0)
+        assert container.level == 40.0
+        assert container.used == 0.0
+
+    def test_invalid_parameters(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0.0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=10.0, init=20.0)
+
+    def test_try_get_and_try_put(self, env):
+        container = Container(env, capacity=40.0)
+        assert container.try_get(10.0)
+        assert container.level == 30.0
+        assert not container.try_get(35.0)
+        assert container.try_put(5.0)
+        assert container.level == 35.0
+        assert not container.try_put(10.0)
+
+    def test_try_get_invalid_amount(self, env):
+        container = Container(env, capacity=10.0)
+        with pytest.raises(ValueError):
+            container.try_get(0.0)
+        with pytest.raises(ValueError):
+            container.try_put(-1.0)
+
+    def test_blocking_get_waits_for_put(self, env):
+        container = Container(env, capacity=40.0, init=0.0)
+        log = []
+
+        def consumer(env, container):
+            yield container.get(10.0)
+            log.append(("got", env.now))
+
+        def producer(env, container):
+            yield env.timeout(7.0)
+            yield container.put(10.0)
+
+        env.process(consumer(env, container))
+        env.process(producer(env, container))
+        env.run()
+        assert log == [("got", 7.0)]
+
+    def test_blocking_put_waits_for_space(self, env):
+        container = Container(env, capacity=10.0, init=10.0)
+        log = []
+
+        def producer(env, container):
+            yield container.put(5.0)
+            log.append(("put", env.now))
+
+        def consumer(env, container):
+            yield env.timeout(3.0)
+            yield container.get(6.0)
+
+        env.process(producer(env, container))
+        env.process(consumer(env, container))
+        env.run()
+        assert log == [("put", 3.0)]
+
+    def test_get_more_than_capacity_fails_event(self, env):
+        container = Container(env, capacity=10.0)
+        event = container.get(20.0)
+        event.defuse()
+        env.run()
+        assert not event.ok
+
+    def test_fifo_gets(self, env):
+        container = Container(env, capacity=10.0, init=0.0)
+        order = []
+
+        def consumer(env, container, name, amount):
+            yield container.get(amount)
+            order.append(name)
+
+        env.process(consumer(env, container, "first", 4.0))
+        env.process(consumer(env, container, "second", 2.0))
+
+        def producer(env, container):
+            yield env.timeout(1.0)
+            yield container.put(10.0)
+
+        env.process(producer(env, container))
+        env.run()
+        assert order == ["first", "second"]

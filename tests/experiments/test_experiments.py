@@ -1,0 +1,189 @@
+"""Tests of the experiments layer: registry, table/membership rendering and
+small-scale versions of the figure reproductions.
+
+The full-size figure sweeps live in ``benchmarks/``; here they are run with
+few replications and few request counts so the *shape* assertions stay fast
+enough for the unit-test suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    baseline_ablation,
+    crossover_request_count,
+    curve_spread,
+    defuzzifier_ablation,
+    experiment,
+    experiment_ids,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_figure10,
+    render_flc1_memberships,
+    render_flc2_memberships,
+    render_frb1,
+    render_frb2,
+    reproduce_figure7,
+    reproduce_figure8,
+    reproduce_figure9,
+    reproduce_figure10,
+    threshold_ablation,
+)
+
+# Small but statistically meaningful settings for unit-level shape checks.
+QUICK_POINTS = (20, 100)
+QUICK_REPS = 4
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        for required in (
+            "table1-frb1",
+            "table2-frb2",
+            "fig5-flc1-mf",
+            "fig6-flc2-mf",
+            "fig7-speed",
+            "fig8-angle",
+            "fig9-distance",
+            "fig10-facs-vs-scc",
+        ):
+            assert required in ids
+
+    def test_every_spec_names_a_bench(self):
+        for spec in EXPERIMENTS:
+            assert spec.bench_target.startswith("benchmarks/")
+            assert spec.runner.startswith("repro.experiments.")
+
+    def test_lookup(self):
+        assert experiment("fig7-speed").paper_artifact == "Figure 7"
+        with pytest.raises(KeyError):
+            experiment("fig99")
+
+
+class TestTableRendering:
+    def test_frb1_rendering_contains_all_rules(self):
+        text = render_frb1()
+        assert "Table 1" in text
+        # 42 rule rows + header + separator + title
+        assert len(text.splitlines()) == 45
+        assert "Cv9" in text
+
+    def test_frb2_rendering_contains_all_rules(self):
+        text = render_frb2()
+        assert "Table 2" in text
+        assert len(text.splitlines()) == 30
+        assert "NRNA" in text
+
+    def test_flc1_membership_rendering(self):
+        text = render_flc1_memberships(points=15)
+        for label in ("Fig. 5(a)", "Fig. 5(b)", "Fig. 5(c)", "Fig. 5(d)"):
+            assert label in text
+
+    def test_flc2_membership_rendering(self):
+        text = render_flc2_memberships(points=15)
+        for label in ("Fig. 6(a)", "Fig. 6(b)", "Fig. 6(c)", "Fig. 6(d)"):
+            assert label in text
+
+
+@pytest.fixture(scope="module")
+def fig7_sweep():
+    return reproduce_figure7(
+        speeds_kmh=(4.0, 60.0), request_counts=QUICK_POINTS, replications=QUICK_REPS
+    )
+
+
+@pytest.fixture(scope="module")
+def fig10_sweep():
+    return reproduce_figure10(request_counts=QUICK_POINTS, replications=QUICK_REPS)
+
+
+class TestFigure7Shape:
+    def test_acceptance_decreases_with_load(self, fig7_sweep):
+        for curve in fig7_sweep.curves:
+            series = curve.acceptance_series()
+            assert series[0] >= series[-1]
+
+    def test_fast_users_accepted_at_least_as_much_as_slow(self, fig7_sweep):
+        slow = fig7_sweep.curve("4km/h").mean_acceptance()
+        fast = fig7_sweep.curve("60km/h").mean_acceptance()
+        assert fast >= slow
+
+    def test_percentages_in_range(self, fig7_sweep):
+        for curve in fig7_sweep.curves:
+            for value in curve.acceptance_series():
+                assert 0.0 <= value <= 100.0
+
+    def test_render_produces_table_and_plot(self, fig7_sweep):
+        text = render_figure7(fig7_sweep)
+        assert "Figure 7" in text
+        assert "legend:" in text
+
+
+class TestFigure8Shape:
+    def test_straight_heading_beats_perpendicular(self):
+        sweep = reproduce_figure8(
+            angles_deg=(0.0, 90.0), request_counts=QUICK_POINTS, replications=QUICK_REPS
+        )
+        straight = sweep.curve("Angle=0").mean_acceptance()
+        perpendicular = sweep.curve("Angle=90").mean_acceptance()
+        assert straight > perpendicular
+        assert sweep.curve("Angle=0").acceptance_series()[0] > 95.0
+        assert "Figure 8" in render_figure8(sweep)
+
+
+class TestFigure9Shape:
+    def test_distance_effect_is_small_but_ordered(self):
+        sweep = reproduce_figure9(
+            distances_km=(1.0, 10.0), request_counts=QUICK_POINTS, replications=QUICK_REPS
+        )
+        near = sweep.curve("1km").mean_acceptance()
+        far = sweep.curve("10km").mean_acceptance()
+        assert near >= far - 1.0  # ordering holds up to small noise
+        assert curve_spread(sweep) < 20.0
+        assert "Figure 9" in render_figure9(sweep)
+
+
+class TestFigure10Shape:
+    def test_facs_above_scc_at_light_load(self, fig10_sweep):
+        facs = fig10_sweep.curve("FACS").point_at(QUICK_POINTS[0]).acceptance_percentage
+        scc = fig10_sweep.curve("SCC").point_at(QUICK_POINTS[0]).acceptance_percentage
+        assert facs >= scc
+
+    def test_scc_above_facs_at_heavy_load(self, fig10_sweep):
+        facs = fig10_sweep.curve("FACS").point_at(QUICK_POINTS[-1]).acceptance_percentage
+        scc = fig10_sweep.curve("SCC").point_at(QUICK_POINTS[-1]).acceptance_percentage
+        assert scc > facs
+
+    def test_render_reports_crossover(self, fig10_sweep):
+        text = render_figure10(fig10_sweep)
+        assert "Figure 10" in text and "crossover" in text
+
+    def test_crossover_helper(self, fig10_sweep):
+        crossover = crossover_request_count(fig10_sweep)
+        assert crossover is None or crossover in QUICK_POINTS
+
+
+class TestAblations:
+    def test_defuzzifier_ablation_produces_all_methods(self):
+        sweep = defuzzifier_ablation(
+            methods=("centroid", "mom"), request_counts=(30,), replications=2
+        )
+        assert set(sweep.labels()) == {"centroid", "mom"}
+
+    def test_threshold_ablation_monotone(self):
+        sweep = threshold_ablation(
+            thresholds=(-0.25, 0.5), request_counts=(60,), replications=3
+        )
+        lenient = sweep.curve("threshold=-0.25").mean_acceptance()
+        strict = sweep.curve("threshold=+0.50").mean_acceptance()
+        assert lenient >= strict
+
+    def test_baseline_ablation_complete_sharing_accepts_most(self):
+        sweep = baseline_ablation(request_counts=(80,), replications=3)
+        cs = sweep.curve("CS").mean_acceptance()
+        facs = sweep.curve("FACS").mean_acceptance()
+        assert cs >= facs

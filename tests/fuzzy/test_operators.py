@@ -1,0 +1,190 @@
+"""Tests for t-norms, s-norms and complements, including algebraic properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzzy.operators import (
+    BOUNDED_SUM,
+    DRASTIC_AND,
+    DRASTIC_OR,
+    EINSTEIN_OR,
+    HAMACHER_AND,
+    LUKASIEWICZ_AND,
+    MAXIMUM,
+    MINIMUM,
+    NILPOTENT_AND,
+    NILPOTENT_OR,
+    PROBABILISTIC_SUM,
+    PRODUCT,
+    STANDARD_COMPLEMENT,
+    SUGENO_COMPLEMENT,
+    YAGER_COMPLEMENT,
+    aggregate,
+    snorm_by_name,
+    tnorm_by_name,
+)
+
+unit = st.floats(0.0, 1.0)
+
+ALL_TNORMS = [MINIMUM, PRODUCT, LUKASIEWICZ_AND, DRASTIC_AND, NILPOTENT_AND, HAMACHER_AND]
+ALL_SNORMS = [MAXIMUM, PROBABILISTIC_SUM, BOUNDED_SUM, DRASTIC_OR, NILPOTENT_OR, EINSTEIN_OR]
+
+
+class TestTNormProperties:
+    @pytest.mark.parametrize("tnorm", ALL_TNORMS, ids=lambda t: t.name)
+    @given(a=unit, b=unit)
+    @settings(max_examples=50)
+    def test_commutativity(self, tnorm, a, b):
+        assert tnorm(a, b) == pytest.approx(tnorm(b, a), abs=1e-12)
+
+    @pytest.mark.parametrize("tnorm", ALL_TNORMS, ids=lambda t: t.name)
+    @given(a=unit)
+    @settings(max_examples=50)
+    def test_identity_element_one(self, tnorm, a):
+        assert tnorm(a, 1.0) == pytest.approx(a, abs=1e-12)
+
+    @pytest.mark.parametrize("tnorm", ALL_TNORMS, ids=lambda t: t.name)
+    @given(a=unit, b=unit)
+    @settings(max_examples=50)
+    def test_result_in_unit_interval(self, tnorm, a, b):
+        assert -1e-12 <= float(tnorm(a, b)) <= 1.0 + 1e-12
+
+    @pytest.mark.parametrize("tnorm", ALL_TNORMS, ids=lambda t: t.name)
+    @given(a=unit, b=unit)
+    @settings(max_examples=50)
+    def test_bounded_above_by_minimum(self, tnorm, a, b):
+        assert float(tnorm(a, b)) <= min(a, b) + 1e-12
+
+    def test_minimum_values(self):
+        assert MINIMUM(0.3, 0.7) == pytest.approx(0.3)
+
+    def test_product_values(self):
+        assert PRODUCT(0.5, 0.4) == pytest.approx(0.2)
+
+    def test_lukasiewicz_values(self):
+        assert LUKASIEWICZ_AND(0.7, 0.5) == pytest.approx(0.2)
+        assert LUKASIEWICZ_AND(0.3, 0.4) == pytest.approx(0.0)
+
+    def test_drastic_values(self):
+        assert DRASTIC_AND(1.0, 0.4) == pytest.approx(0.4)
+        assert DRASTIC_AND(0.9, 0.4) == pytest.approx(0.0)
+
+    def test_reduce(self):
+        assert MINIMUM.reduce([0.9, 0.4, 0.6]) == pytest.approx(0.4)
+        assert PRODUCT.reduce([0.5, 0.5, 0.5]) == pytest.approx(0.125)
+
+    def test_reduce_empty_raises(self):
+        with pytest.raises(ValueError):
+            MINIMUM.reduce([])
+
+
+class TestSNormProperties:
+    @pytest.mark.parametrize("snorm", ALL_SNORMS, ids=lambda s: s.name)
+    @given(a=unit, b=unit)
+    @settings(max_examples=50)
+    def test_commutativity(self, snorm, a, b):
+        assert snorm(a, b) == pytest.approx(snorm(b, a), abs=1e-12)
+
+    @pytest.mark.parametrize("snorm", ALL_SNORMS, ids=lambda s: s.name)
+    @given(a=unit)
+    @settings(max_examples=50)
+    def test_identity_element_zero(self, snorm, a):
+        assert snorm(a, 0.0) == pytest.approx(a, abs=1e-12)
+
+    @pytest.mark.parametrize("snorm", ALL_SNORMS, ids=lambda s: s.name)
+    @given(a=unit, b=unit)
+    @settings(max_examples=50)
+    def test_bounded_below_by_maximum(self, snorm, a, b):
+        assert float(snorm(a, b)) >= max(a, b) - 1e-12
+
+    def test_maximum_values(self):
+        assert MAXIMUM(0.3, 0.7) == pytest.approx(0.7)
+
+    def test_probabilistic_sum_values(self):
+        assert PROBABILISTIC_SUM(0.5, 0.5) == pytest.approx(0.75)
+
+    def test_bounded_sum_values(self):
+        assert BOUNDED_SUM(0.7, 0.5) == pytest.approx(1.0)
+        assert BOUNDED_SUM(0.3, 0.4) == pytest.approx(0.7)
+
+    def test_reduce(self):
+        assert MAXIMUM.reduce([0.1, 0.8, 0.3]) == pytest.approx(0.8)
+
+    def test_reduce_empty_raises(self):
+        with pytest.raises(ValueError):
+            MAXIMUM.reduce([])
+
+
+class TestDuality:
+    @given(a=unit, b=unit)
+    @settings(max_examples=100)
+    def test_min_max_de_morgan(self, a, b):
+        """min and max are dual under the standard complement."""
+        lhs = 1.0 - MINIMUM(a, b)
+        rhs = MAXIMUM(1.0 - a, 1.0 - b)
+        assert lhs == pytest.approx(rhs, abs=1e-12)
+
+    @given(a=unit, b=unit)
+    @settings(max_examples=100)
+    def test_product_probsum_de_morgan(self, a, b):
+        lhs = 1.0 - PRODUCT(a, b)
+        rhs = PROBABILISTIC_SUM(1.0 - a, 1.0 - b)
+        assert lhs == pytest.approx(rhs, abs=1e-12)
+
+
+class TestComplements:
+    @given(a=unit)
+    @settings(max_examples=50)
+    def test_standard_complement_involution(self, a):
+        assert STANDARD_COMPLEMENT(STANDARD_COMPLEMENT(a)) == pytest.approx(a, abs=1e-12)
+
+    def test_sugeno_requires_lambda_above_minus_one(self):
+        with pytest.raises(ValueError):
+            SUGENO_COMPLEMENT(-1.0)
+
+    @given(a=unit, lam=st.floats(-0.9, 5.0))
+    @settings(max_examples=50)
+    def test_sugeno_boundary_conditions(self, a, lam):
+        comp = SUGENO_COMPLEMENT(lam)
+        assert comp(0.0) == pytest.approx(1.0)
+        assert comp(1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_yager_requires_positive_w(self):
+        with pytest.raises(ValueError):
+            YAGER_COMPLEMENT(0.0)
+
+    def test_yager_reduces_to_standard_for_w_one(self):
+        comp = YAGER_COMPLEMENT(1.0)
+        for a in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert comp(a) == pytest.approx(1.0 - a)
+
+
+class TestRegistryAndAggregation:
+    def test_lookup_by_name(self):
+        assert tnorm_by_name("minimum") is MINIMUM
+        assert snorm_by_name("maximum") is MAXIMUM
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            tnorm_by_name("nope")
+        with pytest.raises(KeyError):
+            snorm_by_name("nope")
+
+    def test_aggregate_max(self):
+        a = np.array([0.1, 0.5, 0.9])
+        b = np.array([0.3, 0.2, 0.8])
+        np.testing.assert_allclose(aggregate(MAXIMUM, [a, b]), [0.3, 0.5, 0.9])
+
+    def test_aggregate_single_surface_returns_copy(self):
+        a = np.array([0.1, 0.2])
+        result = aggregate(MAXIMUM, [a])
+        np.testing.assert_allclose(result, a)
+        result[0] = 0.9
+        assert a[0] == pytest.approx(0.1)
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate(MAXIMUM, [])

@@ -1,0 +1,86 @@
+"""Property-based tests of the experiment layer's invariants.
+
+These use hypothesis to vary workload parameters and check the accounting
+invariants that must hold for *any* admission controller on *any* workload:
+decisions partition the requests, the base station never over-allocates, and
+acceptance can only go down (weakly) when the same workload is squeezed into
+a shorter arrival window.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cac.complete_sharing import CompleteSharingController
+from repro.cac.guard_channel import GuardChannelController
+from repro.simulation.batch import run_batch_experiment
+from repro.simulation.config import BatchExperimentConfig
+from repro.simulation.scenario import facs_factory, scc_factory
+
+CONTROLLER_FACTORIES = {
+    "FACS": facs_factory(),
+    "SCC": scc_factory(),
+    "CS": CompleteSharingController,
+    "GuardChannel": GuardChannelController,
+}
+
+_slow_settings = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.mark.parametrize("label", sorted(CONTROLLER_FACTORIES))
+@given(
+    request_count=st.integers(5, 60),
+    seed=st.integers(0, 2**20),
+)
+@_slow_settings
+def test_decisions_partition_requests(label, request_count, seed):
+    config = BatchExperimentConfig(request_count=request_count, seed=seed)
+    output = run_batch_experiment(config, CONTROLLER_FACTORIES[label])
+    metrics = output.result.metrics
+    assert metrics.requested == request_count
+    assert metrics.accepted + metrics.blocked == metrics.requested
+    assert metrics.completed == metrics.accepted
+    assert 0.0 <= metrics.acceptance_percentage <= 100.0
+
+
+@pytest.mark.parametrize("label", ["FACS", "CS"])
+@given(
+    request_count=st.integers(20, 80),
+    seed=st.integers(0, 2**20),
+    capacity=st.integers(10, 60),
+)
+@_slow_settings
+def test_station_never_over_allocated(label, request_count, seed, capacity):
+    config = BatchExperimentConfig(
+        request_count=request_count, seed=seed, capacity_bu=capacity
+    )
+    output = run_batch_experiment(config, CONTROLLER_FACTORIES[label], collect_trace=True)
+    assert output.peak_occupancy_bu <= capacity
+    for record in output.records:
+        assert 0 <= record.occupancy_before_bu <= capacity
+
+
+@given(seed=st.integers(0, 2**16))
+@_slow_settings
+def test_same_seed_same_result_for_facs(seed):
+    config = BatchExperimentConfig(request_count=40, seed=seed)
+    first = run_batch_experiment(config, facs_factory())
+    second = run_batch_experiment(config, facs_factory())
+    assert first.acceptance_percentage == second.acceptance_percentage
+
+
+@given(seed=st.integers(0, 2**16))
+@_slow_settings
+def test_tighter_window_does_not_increase_cs_acceptance(seed):
+    """Squeezing the same requests into a shorter window raises occupancy, so a
+    load-driven controller (Complete Sharing) cannot accept more calls."""
+    relaxed = BatchExperimentConfig(request_count=80, seed=seed, arrival_window_s=4000.0)
+    squeezed = BatchExperimentConfig(request_count=80, seed=seed, arrival_window_s=400.0)
+    relaxed_output = run_batch_experiment(relaxed, CompleteSharingController)
+    squeezed_output = run_batch_experiment(squeezed, CompleteSharingController)
+    assert squeezed_output.result.metrics.accepted <= relaxed_output.result.metrics.accepted

@@ -1,0 +1,72 @@
+"""Integration tests of the multi-cell network simulation (mobility + handoffs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cac.complete_sharing import CompleteSharingController
+from repro.simulation.config import NetworkExperimentConfig
+from repro.simulation.engine import NetworkSimulation, run_network_experiment
+from repro.simulation.scenario import facs_factory, scc_factory
+
+
+SMALL = NetworkExperimentConfig(
+    rings=1,
+    cell_radius_km=1.0,
+    arrival_rate_per_cell_per_s=0.02,
+    duration_s=600.0,
+    mean_speed_kmh=60.0,
+    seed=4242,
+)
+
+
+class TestNetworkSimulation:
+    def test_run_produces_consistent_counts(self):
+        output = run_network_experiment(SMALL, CompleteSharingController)
+        metrics = output.result.metrics
+        assert metrics.requested > 0
+        assert metrics.accepted + metrics.blocked == metrics.requested
+        # Every admitted new call eventually completed or dropped.
+        assert output.completed_calls + output.dropped_calls > 0
+        assert output.handoff_failures <= output.handoff_attempts
+
+    def test_handoffs_occur_with_fast_mobiles(self):
+        output = run_network_experiment(SMALL, CompleteSharingController)
+        assert output.handoff_attempts > 0
+
+    def test_bandwidth_fully_released_at_end(self):
+        simulation = NetworkSimulation(SMALL, CompleteSharingController)
+        simulation.run()
+        assert simulation.network.total_used_bu() == 0
+
+    def test_reproducible_for_same_seed(self):
+        first = run_network_experiment(SMALL, CompleteSharingController)
+        second = run_network_experiment(SMALL, CompleteSharingController)
+        assert first.result.metrics.requested == second.result.metrics.requested
+        assert first.result.metrics.accepted == second.result.metrics.accepted
+        assert first.handoff_attempts == second.handoff_attempts
+
+    def test_facs_runs_on_network(self):
+        output = run_network_experiment(SMALL, facs_factory())
+        assert output.result.controller == "FACS"
+        assert 0.0 <= output.result.acceptance_percentage <= 100.0
+        assert output.time_average_occupancy_bu >= 0.0
+
+    def test_scc_runs_on_network(self):
+        output = run_network_experiment(SMALL, scc_factory())
+        assert output.result.controller == "SCC"
+        assert output.result.metrics.requested > 0
+
+    def test_per_cell_controllers_are_independent(self):
+        simulation = NetworkSimulation(SMALL, facs_factory())
+        cells = simulation.network.cells
+        assert simulation.controller_for(cells[0]) is not simulation.controller_for(cells[1])
+
+    def test_handoff_failure_ratio_bounds(self):
+        output = run_network_experiment(SMALL, CompleteSharingController)
+        assert 0.0 <= output.handoff_failure_ratio <= 1.0
+
+    def test_result_parameters_recorded(self):
+        output = run_network_experiment(SMALL, CompleteSharingController)
+        assert output.result.parameters["cells"] == 7.0
+        assert output.result.parameters["duration_s"] == 600.0

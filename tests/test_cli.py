@@ -1,0 +1,61 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import experiment_ids
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1-frb1"])
+        args2 = build_parser().parse_args(
+            ["run", "fig7-speed", "--replications", "2", "--requests", "10", "20"]
+        )
+        assert args.experiment == "table1-frb1"
+        assert args2.replications == 2
+        assert args2.requests == [10, 20]
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in experiment_ids():
+            assert experiment_id in output
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1-frb1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2-frb2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_run_membership_figures(self, capsys):
+        assert main(["run", "fig5-flc1-mf"]) == 0
+        assert "Fig. 5(a)" in capsys.readouterr().out
+        assert main(["run", "fig6-flc2-mf"]) == 0
+        assert "Fig. 6(d)" in capsys.readouterr().out
+
+    def test_run_small_figure_sweep(self, capsys):
+        code = main(
+            ["run", "fig7-speed", "--replications", "1", "--requests", "10", "40"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Figure 7" in output and "legend:" in output
+
+    def test_benchmark_only_experiment_is_refused(self):
+        with pytest.raises(SystemExit, match="benchmark-only"):
+            main(["run", "abl-defuzz"])
