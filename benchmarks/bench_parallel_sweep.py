@@ -1,0 +1,80 @@
+"""Wall-clock benchmark: the Fig. 10 sweep on the two-layer fast path.
+
+Compares the historical configuration (interpreted reference engine,
+strictly serial replications) against the default fast path (compiled
+engine, process-pool executor with 4 workers) on the same Fig. 10 workload
+as ``bench_fig10_facs_vs_scc``, asserting
+
+* a >= 3x wall-clock speedup, and
+* equivalent curves (the engines agree to 1e-9 on every sweep point, and
+  the parallel result is byte-identical to a serial run of the same
+  configuration).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from conftest import BENCH_REPLICATIONS
+
+from repro.cac.facs.system import FACSConfig
+from repro.experiments import reproduce_figure10
+from repro.simulation import ProcessPoolSweepExecutor
+
+# Same dense x axis as bench_fig10_facs_vs_scc.
+FIG10_REQUEST_COUNTS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+PARALLEL_WORKERS = 4
+
+
+def test_fig10_parallel_compiled_speedup(benchmark):
+    kwargs = dict(
+        request_counts=FIG10_REQUEST_COUNTS, replications=BENCH_REPLICATIONS
+    )
+
+    start = time.perf_counter()
+    reference_sweep = reproduce_figure10(
+        facs_config=FACSConfig(engine="reference"), **kwargs
+    )
+    reference_seconds = time.perf_counter() - start
+
+    def run_fast_path():
+        return reproduce_figure10(
+            executor=ProcessPoolSweepExecutor(max_workers=PARALLEL_WORKERS), **kwargs
+        )
+
+    start = time.perf_counter()
+    fast_sweep = run_fast_path()
+    fast_seconds = time.perf_counter() - start
+    benchmark.pedantic(run_fast_path, rounds=1, iterations=1)
+
+    # Equivalence 1: compiled curves match the reference engine's to 1e-9.
+    for reference_curve, fast_curve in zip(reference_sweep.curves, fast_sweep.curves):
+        assert reference_curve.label == fast_curve.label
+        for reference_point, fast_point in zip(
+            reference_curve.points, fast_curve.points
+        ):
+            assert (
+                abs(
+                    reference_point.acceptance_percentage
+                    - fast_point.acceptance_percentage
+                )
+                <= 1e-9
+            )
+
+    # Equivalence 2: the parallel result is byte-identical to a serial run
+    # of the same (compiled) configuration.
+    serial_sweep = reproduce_figure10(**kwargs)
+    assert pickle.dumps(serial_sweep) == pickle.dumps(fast_sweep)
+
+    speedup = reference_seconds / fast_seconds
+    benchmark.extra_info["reference_serial_seconds"] = round(reference_seconds, 3)
+    benchmark.extra_info["compiled_parallel_seconds"] = round(fast_seconds, 3)
+    benchmark.extra_info["workers"] = PARALLEL_WORKERS
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\nfig10 sweep: reference+serial {reference_seconds:.2f}s, "
+        f"compiled+parallel({PARALLEL_WORKERS}) {fast_seconds:.2f}s, "
+        f"speedup {speedup:.2f}x"
+    )
+    assert speedup >= 3.0

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from ...cellular.mobility import UserState
 from ...fuzzy.controller import FuzzyController
 from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
-from ...fuzzy.inference import InferenceResult
 from .config import DEFAULT_FLC1_CONFIG, FLC1Config
 from .frb1 import frb1_rules
 
@@ -43,6 +42,7 @@ class FLC1:
         self,
         config: FLC1Config = DEFAULT_FLC1_CONFIG,
         defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
+        engine: str = "compiled",
     ):
         self._config = config
         self._controller = FuzzyController(
@@ -55,6 +55,7 @@ class FLC1:
             outputs=[config.correction_variable()],
             rules=frb1_rules(),
             defuzzifier=defuzzifier,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -80,12 +81,11 @@ class FLC1:
 
     def evaluate(self, user: UserState) -> CorrectionResult:
         """Compute Cv for a :class:`UserState`, with rule diagnostics."""
-        result: InferenceResult = self._controller.evaluate(
+        crisp = self._controller.crisp_decision(
             S=user.speed_kmh, A=user.angle_deg, D=user.distance_km
         )
-        dominant = result.dominant_rule()
         return CorrectionResult(
-            correction_value=min(max(result["Cv"], 0.0), 1.0),
-            dominant_rule=dominant.rule.label,
+            correction_value=min(max(crisp["Cv"], 0.0), 1.0),
+            dominant_rule=crisp.dominant_label,
             inputs=user,
         )

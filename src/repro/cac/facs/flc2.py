@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 from ...fuzzy.controller import FuzzyController
 from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
-from ...fuzzy.inference import InferenceResult
 from ..base import DecisionOutcome
 from .config import DEFAULT_FLC2_CONFIG, FLC2Config
 from .frb2 import frb2_rules
@@ -46,6 +45,7 @@ class FLC2:
         self,
         config: FLC2Config = DEFAULT_FLC2_CONFIG,
         defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
+        engine: str = "compiled",
     ):
         self._config = config
         self._controller = FuzzyController(
@@ -58,6 +58,7 @@ class FLC2:
             outputs=[config.decision_variable()],
             rules=frb2_rules(),
             defuzzifier=defuzzifier,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -86,14 +87,14 @@ class FLC2:
         self, correction_value: float, request_bu: float, counter_state_bu: float
     ) -> DecisionResult:
         """Full soft decision for the given inputs, with diagnostics."""
-        result: InferenceResult = self._controller.evaluate(
+        crisp = self._controller.crisp_decision(
             Cv=correction_value, R=request_bu, Cs=counter_state_bu
         )
-        score = min(max(result["AR"], -1.0), 1.0)
+        score = min(max(crisp["AR"], -1.0), 1.0)
         return DecisionResult(
             score=score,
             outcome=self.classify_score(score),
-            dominant_rule=result.dominant_rule().rule.label,
+            dominant_rule=crisp.dominant_label,
             correction_value=correction_value,
             request_bu=request_bu,
             counter_state_bu=counter_state_bu,

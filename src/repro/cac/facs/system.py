@@ -18,6 +18,7 @@ requested bandwidth available.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ...cellular.calls import Call
 from ...cellular.cell import BaseStation
@@ -44,12 +45,41 @@ class FACSConfig:
     #: Minimum defuzzified A/R score for acceptance.  The default 0 accepts
     #: "weak accept" and above, mirroring the paper's soft decision scale.
     acceptance_threshold: float = 0.0
+    #: Inference engine for FLC1/FLC2: ``"compiled"`` (vectorized fast path,
+    #: the default — bit-identical to the reference for the paper operators),
+    #: ``"reference"`` (interpreted per-rule loop) or ``"auto"``.
+    engine: str = "compiled"
 
     def __post_init__(self) -> None:
         if not -1.0 <= self.acceptance_threshold <= 1.0:
             raise ValueError(
                 f"acceptance_threshold must lie in [-1, 1], got {self.acceptance_threshold}"
             )
+        if self.engine not in ("auto", "compiled", "reference"):
+            raise ValueError(
+                f"engine must be 'auto', 'compiled' or 'reference', got {self.engine!r}"
+            )
+
+
+@lru_cache(maxsize=64)
+def _shared_flc1(config: FLC1Config, defuzzifier: Defuzzifier, engine: str) -> FLC1:
+    """Build (or reuse) the FLC1 for a configuration.
+
+    Controller construction — rule parsing, membership sampling, rule-base
+    compilation — costs a few milliseconds, which dominates short
+    replications when every run builds a fresh FACS.  FLC1/FLC2 hold no
+    per-call state, so instances are shared across FACS systems with the
+    same configuration.  (Engines reuse an internal scratch buffer and are
+    not thread-safe; the parallel sweep executor uses processes, where each
+    worker owns its own memo.)
+    """
+    return FLC1(config, defuzzifier=defuzzifier, engine=engine)
+
+
+@lru_cache(maxsize=64)
+def _shared_flc2(config: FLC2Config, defuzzifier: Defuzzifier, engine: str) -> FLC2:
+    """Build (or reuse) the FLC2 for a configuration (see :func:`_shared_flc1`)."""
+    return FLC2(config, defuzzifier=defuzzifier, engine=engine)
 
 
 class FuzzyAdmissionControlSystem(AdmissionController):
@@ -63,8 +93,22 @@ class FuzzyAdmissionControlSystem(AdmissionController):
         defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
     ):
         self._config = config or FACSConfig()
-        self._flc1 = FLC1(self._config.flc1, defuzzifier=defuzzifier)
-        self._flc2 = FLC2(self._config.flc2, defuzzifier=defuzzifier)
+        try:
+            self._flc1 = _shared_flc1(
+                self._config.flc1, defuzzifier, self._config.engine
+            )
+            self._flc2 = _shared_flc2(
+                self._config.flc2, defuzzifier, self._config.engine
+            )
+        except TypeError:
+            # Unhashable custom config/defuzzifier: skip the memo and build
+            # directly, preserving the pre-memoisation contract.
+            self._flc1 = FLC1(
+                self._config.flc1, defuzzifier=defuzzifier, engine=self._config.engine
+            )
+            self._flc2 = FLC2(
+                self._config.flc2, defuzzifier=defuzzifier, engine=self._config.engine
+            )
         capacity = int(self._config.flc2.counter_universe[1])
         self._counters = ServiceCounters(capacity_bu=capacity)
 

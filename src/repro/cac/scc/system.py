@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 from ...cellular.calls import Call
 from ...cellular.cell import BaseStation
-from ...des.rng import RandomStream
+from ...des.rng import RandomStream, _mix_seed
 from ..base import AdmissionController, AdmissionDecision, DecisionOutcome
 from .demand import DemandEstimator
 from .projection import ProjectionConfig
@@ -130,20 +130,28 @@ class ShadowClusterController(AdmissionController):
         The outcome is a deterministic pseudo-random function of the request
         itself (user state, arrival time and the configured seed), so the
         same workload always produces the same SCC decisions while different
-        calls and different replications see independent draws.
+        calls and different replications see independent draws.  The label
+        deliberately excludes ``call_id``: ids are an artifact of object
+        creation order, and seeding from them would make SCC's decisions
+        depend on what else ran in the process before this call.
         """
         failure = self._config.reservation_failure_probability
         if failure <= 0.0:
             return True
         user = call.user_state
         label = (
-            f"{call.call_id}:{call.requested_at:.3f}:"
-            f"{user.angle_deg:.3f}:{user.distance_km:.3f}" if user is not None else str(call.call_id)
+            f"{call.requested_at:.6f}:{user.speed_kmh:.3f}:"
+            f"{user.angle_deg:.3f}:{user.distance_km:.3f}"
+            if user is not None
+            else f"{call.requested_at:.6f}"
         )
+        # Construct the derived stream directly (same seed derivation as
+        # RandomStream(...).spawn(label)) — building the intermediate parent
+        # stream would initialise a second generator that is never drawn from.
         rng = RandomStream(
-            f"scc-reservation-{label}",
-            seed=self._config.reservation_seed ^ (call.call_id * 0x9E3779B1),
-        ).spawn(label)
+            f"scc-reservation-{label}/{label}",
+            seed=_mix_seed(self._config.reservation_seed, label),
+        )
         for _ in range(self.required_reservations(call)):
             if rng.bernoulli(failure):
                 return False

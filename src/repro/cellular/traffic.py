@@ -18,6 +18,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..des.rng import RandomStream
 
@@ -88,6 +90,14 @@ class TrafficMix:
                     f"mix key {service} does not match spec service {spec.service}"
                 )
         self._classes = dict(classes)
+        # Precomputed sampling tables: identical to what RandomStream.choice
+        # derives per call (same order, same normalisation arithmetic), hoisted
+        # out of the per-request hot loop.
+        self._services: tuple[ServiceClass, ...] = tuple(self._classes)
+        weights = np.asarray(
+            [self._classes[s].share for s in self._services], dtype=float
+        )
+        self._probabilities = weights / weights.sum()
 
     @property
     def classes(self) -> dict[ServiceClass, TrafficClassSpec]:
@@ -105,9 +115,7 @@ class TrafficMix:
 
     def sample_class(self, rng: "RandomStream") -> ServiceClass:
         """Draw a service class according to the mix shares."""
-        services = list(self._classes)
-        weights = [self._classes[s].share for s in services]
-        return rng.choice(services, weights)
+        return self._services[rng.choice_index(self._probabilities)]
 
     def offered_load_bu(self) -> float:
         """Expected bandwidth demand of a single request in BU."""

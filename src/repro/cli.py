@@ -14,6 +14,8 @@ import sys
 from typing import Sequence
 
 from .analysis.tables import format_table
+from .cac.facs.system import FACSConfig
+from .simulation.executor import EXECUTOR_CHOICES, SweepExecutor, executor_by_name
 from .experiments import (
     EXPERIMENTS,
     experiment_ids,
@@ -59,10 +61,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=[10, 30, 50, 70, 100],
         help="numbers of requesting connections to sweep (figure experiments only)",
     )
+    run.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_CHOICES),
+        default="serial",
+        help="sweep backend: run replications in-process (serial) or fan them "
+        "out over a worker pool (process); results are identical either way",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --executor process (default: all cores)",
+    )
+    run.add_argument(
+        "--engine",
+        choices=["compiled", "reference"],
+        default="compiled",
+        help="fuzzy inference engine for the FACS controllers: the vectorized "
+        "compiled fast path (default) or the interpreted reference engine",
+    )
     return parser
 
 
-def _run_experiment(experiment: str, replications: int, requests: Sequence[int]) -> str:
+def _run_experiment(
+    experiment: str,
+    replications: int,
+    requests: Sequence[int],
+    executor: SweepExecutor | None = None,
+    engine: str = "compiled",
+) -> str:
     requests = tuple(requests)
     if experiment == "table1-frb1":
         return render_frb1()
@@ -72,22 +100,21 @@ def _run_experiment(experiment: str, replications: int, requests: Sequence[int])
         return render_flc1_memberships()
     if experiment == "fig6-flc2-mf":
         return render_flc2_memberships()
+    facs_config = FACSConfig(engine=engine)
+    sweep_kwargs = dict(
+        request_counts=requests,
+        replications=replications,
+        facs_config=facs_config,
+        executor=executor,
+    )
     if experiment == "fig7-speed":
-        return render_figure7(
-            reproduce_figure7(request_counts=requests, replications=replications)
-        )
+        return render_figure7(reproduce_figure7(**sweep_kwargs))
     if experiment == "fig8-angle":
-        return render_figure8(
-            reproduce_figure8(request_counts=requests, replications=replications)
-        )
+        return render_figure8(reproduce_figure8(**sweep_kwargs))
     if experiment == "fig9-distance":
-        return render_figure9(
-            reproduce_figure9(request_counts=requests, replications=replications)
-        )
+        return render_figure9(reproduce_figure9(**sweep_kwargs))
     if experiment == "fig10-facs-vs-scc":
-        return render_figure10(
-            reproduce_figure10(request_counts=requests, replications=replications)
-        )
+        return render_figure10(reproduce_figure10(**sweep_kwargs))
     raise SystemExit(
         f"experiment {experiment!r} is benchmark-only; run its bench target instead "
         f"(see `python -m repro list`)"
@@ -108,7 +135,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        print(_run_experiment(args.experiment, args.replications, args.requests))
+        if args.workers is not None and args.executor == "serial":
+            parser.error("--workers requires --executor process")
+        try:
+            executor = executor_by_name(args.executor, workers=args.workers)
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(
+            _run_experiment(
+                args.experiment,
+                args.replications,
+                args.requests,
+                executor=executor,
+                engine=args.engine,
+            )
+        )
         return 0
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -56,6 +56,16 @@ class RandomStream:
         index = int(self._rng.choice(len(options), p=probabilities))
         return options[index]
 
+    def choice_index(self, probabilities: np.ndarray) -> int:
+        """Draw an index according to pre-normalised probabilities.
+
+        The fast path of :meth:`choice` for hot loops: callers that already
+        hold a normalised probability vector skip the per-call validation and
+        normalisation.  Consumes the generator exactly like ``choice`` with
+        weights, so the two are interchangeable draw for draw.
+        """
+        return int(self._rng.choice(len(probabilities), p=probabilities))
+
     def shuffle(self, items: list) -> list:
         """Return a new list with the items in random order."""
         indices = self._rng.permutation(len(items))

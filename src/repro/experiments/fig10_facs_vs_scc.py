@@ -16,6 +16,7 @@ from ..analysis.tables import format_curve_table
 from ..cac.facs.system import FACSConfig
 from ..cac.scc.system import SCCConfig
 from ..simulation.config import PAPER_REQUEST_COUNTS
+from ..simulation.executor import SweepExecutor
 from ..simulation.scenario import controller_comparison_variants
 from ..simulation.sweep import SweepResult, run_acceptance_sweep
 
@@ -28,6 +29,7 @@ def reproduce_figure10(
     seed: int = 20070610,
     facs_config: FACSConfig | None = None,
     scc_config: SCCConfig | None = None,
+    executor: SweepExecutor | str | None = None,
 ) -> SweepResult:
     """Run the Fig. 10 sweep: the FACS and SCC curves on the same workload."""
     variants = controller_comparison_variants(
@@ -38,6 +40,7 @@ def reproduce_figure10(
         variants=variants,
         request_counts=request_counts,
         replications=replications,
+        executor=executor,
     )
 
 

@@ -14,7 +14,9 @@ from typing import Sequence
 
 from ..analysis.plotting import ascii_line_plot
 from ..analysis.tables import format_curve_table
+from ..cac.facs.system import FACSConfig
 from ..simulation.config import PAPER_REQUEST_COUNTS
+from ..simulation.executor import SweepExecutor
 from ..simulation.scenario import PAPER_SPEED_VALUES_KMH, speed_sweep_variants
 from ..simulation.sweep import SweepResult, run_acceptance_sweep
 
@@ -26,14 +28,17 @@ def reproduce_figure7(
     request_counts: Sequence[int] = PAPER_REQUEST_COUNTS,
     replications: int = 10,
     seed: int = 20070607,
+    facs_config: FACSConfig | None = None,
+    executor: SweepExecutor | str | None = None,
 ) -> SweepResult:
     """Run the Fig. 7 sweep and return one curve per speed value."""
-    variants = speed_sweep_variants(speeds_kmh, seed=seed)
+    variants = speed_sweep_variants(speeds_kmh, seed=seed, facs_config=facs_config)
     return run_acceptance_sweep(
         name="fig7-speed",
         variants=variants,
         request_counts=request_counts,
         replications=replications,
+        executor=executor,
     )
 
 

@@ -13,7 +13,9 @@ from typing import Sequence
 
 from ..analysis.plotting import ascii_line_plot
 from ..analysis.tables import format_curve_table
+from ..cac.facs.system import FACSConfig
 from ..simulation.config import PAPER_REQUEST_COUNTS
+from ..simulation.executor import SweepExecutor
 from ..simulation.scenario import PAPER_ANGLE_VALUES_DEG, angle_sweep_variants
 from ..simulation.sweep import SweepResult, run_acceptance_sweep
 
@@ -25,14 +27,17 @@ def reproduce_figure8(
     request_counts: Sequence[int] = PAPER_REQUEST_COUNTS,
     replications: int = 10,
     seed: int = 20070608,
+    facs_config: FACSConfig | None = None,
+    executor: SweepExecutor | str | None = None,
 ) -> SweepResult:
     """Run the Fig. 8 sweep and return one curve per angle value."""
-    variants = angle_sweep_variants(angles_deg, seed=seed)
+    variants = angle_sweep_variants(angles_deg, seed=seed, facs_config=facs_config)
     return run_acceptance_sweep(
         name="fig8-angle",
         variants=variants,
         request_counts=request_counts,
         replications=replications,
+        executor=executor,
     )
 
 

@@ -55,7 +55,13 @@ from .inference import (
     RuleActivation,
     SugenoEngine,
 )
-from .controller import ControllerSpec, FuzzyController
+from .compiled import (
+    CacheInfo,
+    CompiledMamdaniEngine,
+    CrispInference,
+    RuleCompilationError,
+)
+from .controller import ENGINE_CHOICES, ControllerSpec, FuzzyController
 
 __all__ = [
     # membership
@@ -119,7 +125,13 @@ __all__ = [
     "InferenceResult",
     "RuleActivation",
     "ImplicationMethod",
+    # compiled fast path
+    "CompiledMamdaniEngine",
+    "CrispInference",
+    "RuleCompilationError",
+    "CacheInfo",
     # controller
     "FuzzyController",
     "ControllerSpec",
+    "ENGINE_CHOICES",
 ]

@@ -1,0 +1,483 @@
+"""Compiled Mamdani inference: the rule base precompiled into numpy tensors.
+
+:class:`MamdaniEngine` walks the rule base with a per-rule Python loop on
+every ``infer`` — an interpreted evaluation that dominates the runtime of the
+FACS simulations (two controllers, ~70 rules, one inference per admission
+decision).  :class:`CompiledMamdaniEngine` performs the same computation with
+a handful of vectorized operations by lowering the rule base at construction
+time into
+
+* an *antecedent index matrix* ``A`` of shape ``(n_rules, max_props)`` whose
+  entries point into a flat vector of fuzzified membership degrees (rules
+  with fewer propositions are padded with a slot pinned to ``1.0``, the
+  identity of every t-norm), and
+* one *consequent surface tensor* ``C`` of shape ``(n_entries, resolution)``
+  per output variable, stacking the pre-sampled consequent term surfaces in
+  rule order.
+
+One inference is then: fill the degree vector (scalar fast paths for the
+triangular/trapezoidal shapes the paper uses), gather ``A`` and fold the
+t-norm across its columns to get all firing strengths at once, clip/scale the
+fired rows of ``C`` and reduce them with the s-norm, and defuzzify.
+
+The compiled engine is an exact drop-in: for the paper's minimum/maximum
+operators the results are bit-for-bit identical to the reference engine, and
+for every other registered operator family they agree to ~1 ulp (the only
+difference is floating-point reassociation).  This is locked down by the
+equivalence tests in ``tests/fuzzy/test_compiled_engine.py``.
+
+Only rule bases whose rules are pure conjunctions of unhedged propositions
+can be compiled (FRB1 and FRB2 both are); anything else raises
+:class:`RuleCompilationError` so callers can fall back to the reference
+engine.
+
+An optional LRU cache memoises crisp inferences, keyed on the (optionally
+quantized) input tuple.  With ``cache_quantization=None`` the keys are exact
+and cached results are indistinguishable from recomputation; with a
+quantization step the cache trades exactness for hit rate.
+
+The engine reuses an internal degree buffer across calls and is therefore
+not thread-safe; use one engine per worker (processes each get their own).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .defuzzification import (
+    DEFAULT_DEFUZZIFIER,
+    Centroid,
+    DefuzzificationError,
+    Defuzzifier,
+)
+from .inference import ImplicationMethod, InferenceResult, MamdaniEngine, RuleActivation
+from .membership import Trapezoidal, Triangular
+from .operators import MAXIMUM, MINIMUM, SNorm, TNorm
+from .rules import RuleBase, _is_pure_conjunction, _propositions
+from .variables import LinguisticVariable, Term
+
+__all__ = [
+    "CompiledMamdaniEngine",
+    "CrispInference",
+    "RuleCompilationError",
+    "CacheInfo",
+]
+
+_EPS = 1e-12
+# np.isclose defaults, replicated so the scalar fast paths match the array
+# evaluation of Triangular bitwise.
+_ISCLOSE_RTOL = 1e-5
+_ISCLOSE_ATOL = 1e-8
+
+
+class RuleCompilationError(ValueError):
+    """Raised when a rule base cannot be lowered to the compiled form."""
+
+
+@dataclass(frozen=True)
+class CrispInference:
+    """Lightweight inference outcome: crisp outputs plus the dominant rule.
+
+    The fast-path counterpart of :class:`InferenceResult` — no per-rule
+    activation records and no aggregated surfaces, so admission decisions in
+    the simulator hot loop do not pay for diagnostics they never read.
+    """
+
+    outputs: Mapping[str, float]
+    dominant_index: int
+    dominant_label: str
+
+    def __getitem__(self, variable: str) -> float:
+        return self.outputs[variable]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss statistics of the engine's crisp-inference LRU cache."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+
+
+def _isclose_scalar(x: float, target: float) -> bool:
+    return abs(x - target) <= _ISCLOSE_ATOL + _ISCLOSE_RTOL * abs(target)
+
+
+def _triangular_degree(x: float, a: float, b: float, c: float) -> float:
+    """Scalar replica of ``Triangular.evaluate`` followed by the [0, 1] clip.
+
+    Mirrors the array implementation branch for branch (including the
+    ``np.isclose`` peak snapping) so the result is bit-identical to
+    ``term.degree(x)``.
+    """
+    mu = 0.0
+    left_width = b - a
+    right_width = c - b
+    if left_width > _EPS:
+        if a < x < b:
+            mu = (x - a) / left_width
+    elif _isclose_scalar(x, b):
+        mu = 1.0
+    if right_width > _EPS and b <= x < c:
+        mu = (c - x) / right_width
+    if _isclose_scalar(x, b):
+        mu = 1.0
+    if left_width <= _EPS and x == b:
+        mu = 1.0
+    return min(max(mu, 0.0), 1.0)
+
+
+def _trapezoidal_degree(x: float, a: float, b: float, c: float, d: float) -> float:
+    """Scalar replica of ``Trapezoidal.evaluate`` followed by the [0, 1] clip."""
+    mu = 0.0
+    left_width = b - a
+    right_width = d - c
+    if left_width > _EPS and a < x < b:
+        mu = (x - a) / left_width
+    if right_width > _EPS and c < x < d:
+        mu = (d - x) / right_width
+    if b <= x <= c:
+        mu = 1.0
+    return min(max(mu, 0.0), 1.0)
+
+
+def _term_evaluator(term: Term) -> Callable[[float], float]:
+    """Return the fastest exact scalar evaluator for a term's membership."""
+    mf = term.membership
+    if type(mf) is Triangular:
+        a, b, c = mf.a, mf.b, mf.c
+        return lambda x: _triangular_degree(x, a, b, c)
+    if type(mf) is Trapezoidal:
+        a, b, c, d = mf.a, mf.b, mf.c, mf.d
+        return lambda x: _trapezoidal_degree(x, a, b, c, d)
+    return term.degree
+
+
+class CompiledMamdaniEngine(MamdaniEngine):
+    """Vectorized Mamdani engine, equivalent to :class:`MamdaniEngine`.
+
+    Parameters
+    ----------
+    rule_base, tnorm, snorm, implication, defuzzifier:
+        As for :class:`MamdaniEngine`.
+    cache_size:
+        Maximum number of crisp inferences memoised by the LRU cache;
+        ``0`` (the default) disables caching.
+    cache_quantization:
+        Optional quantization step applied to the cache key.  ``None`` keys
+        the cache on the exact input floats (cached results are then
+        identical to recomputation); a positive step buckets nearby inputs
+        together, trading exactness for hit rate.
+
+    Raises
+    ------
+    RuleCompilationError
+        When a rule uses OR/NOT connectives or hedges and therefore cannot
+        be lowered to the index-matrix form.
+    """
+
+    def __init__(
+        self,
+        rule_base: RuleBase,
+        tnorm: TNorm = MINIMUM,
+        snorm: SNorm = MAXIMUM,
+        implication: str = ImplicationMethod.CLIP,
+        defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
+        cache_size: int = 0,
+        cache_quantization: float | None = None,
+    ):
+        super().__init__(
+            rule_base,
+            tnorm=tnorm,
+            snorm=snorm,
+            implication=implication,
+            defuzzifier=defuzzifier,
+        )
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be non-negative, got {cache_size}")
+        if cache_quantization is not None and cache_quantization <= 0.0:
+            raise ValueError(
+                f"cache_quantization must be positive, got {cache_quantization}"
+            )
+        self._cache_size = cache_size
+        self._cache_quantization = cache_quantization
+        self._cache: OrderedDict[tuple, CrispInference] | None = (
+            OrderedDict() if cache_size > 0 else None
+        )
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._compile()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _compile(self) -> None:
+        rule_base = self._rule_base
+        self._input_order: list[str] = list(rule_base.input_variables)
+
+        # Flat degree vector layout: one slot per (variable, term) in
+        # variable order, plus a trailing slot pinned to 1.0 — the identity
+        # of every t-norm — used to pad rules with fewer propositions.
+        slot_of: dict[tuple[str, str], int] = {}
+        fuzzify_plan: list[
+            tuple[str, float, float, int, list[Callable[[float], float]]]
+        ] = []
+        n_slots = 0
+        for name in self._input_order:
+            variable = rule_base.input_variables[name]
+            offset = n_slots
+            evaluators: list[Callable[[float], float]] = []
+            for term in variable:
+                slot_of[(name, term.name)] = n_slots
+                evaluators.append(_term_evaluator(term))
+                n_slots += 1
+            low, high = variable.universe
+            fuzzify_plan.append((name, low, high, offset, evaluators))
+        self._fuzzify_plan = fuzzify_plan
+        self._identity_slot = n_slots
+        self._degree_buffer = np.empty(n_slots + 1, dtype=float)
+        self._degree_buffer[self._identity_slot] = 1.0
+
+        rows: list[list[int]] = []
+        for rule in rule_base:
+            if not _is_pure_conjunction(rule.antecedent):
+                raise RuleCompilationError(
+                    f"rule {rule.label or rule} uses OR/NOT connectives; only pure "
+                    f"conjunctions can be compiled — use MamdaniEngine instead"
+                )
+            props = _propositions(rule.antecedent)
+            if any(prop.hedge is not None for prop in props):
+                raise RuleCompilationError(
+                    f"rule {rule.label or rule} uses hedges, which the compiled "
+                    f"engine does not support — use MamdaniEngine instead"
+                )
+            rows.append([slot_of[(prop.variable, prop.term)] for prop in props])
+
+        width = max(len(row) for row in rows)
+        index = np.full((len(rows), width), self._identity_slot, dtype=np.intp)
+        for i, row in enumerate(rows):
+            index[i, : len(row)] = row
+        self._antecedent_index = index
+        self._antecedent_width = width
+
+        weights = np.array([rule.weight for rule in rule_base], dtype=float)
+        self._weights = weights
+        self._trivial_weights = bool(np.all(weights == 1.0))
+
+        # The centroid defuzzifier reduces to two trapezoid integrals over
+        # the fixed output grid; precomputing the grid spacing and replaying
+        # np.trapezoid's formula saves two np.diff calls per inference while
+        # remaining bit-identical.  Only the exact Centroid type qualifies —
+        # subclasses may override behaviour.
+        self._fast_centroid = type(self._defuzzifier) is Centroid
+
+        # Per output variable: (entry -> rule index, stacked surfaces, variable).
+        plans: dict[str, tuple[np.ndarray, np.ndarray, LinguisticVariable]] = {}
+        self._grid_diffs: dict[str, np.ndarray] = {}
+        for var_name, variable in rule_base.output_variables.items():
+            self._grid_diffs[var_name] = np.diff(variable.grid)
+            surfaces: list[np.ndarray] = []
+            entry_rules: list[int] = []
+            for rule_index, rule in enumerate(rule_base):
+                for consequent in rule.consequents:
+                    if consequent.variable == var_name:
+                        surfaces.append(
+                            self._output_term_surfaces[var_name][consequent.term]
+                        )
+                        entry_rules.append(rule_index)
+            tensor = (
+                np.ascontiguousarray(np.stack(surfaces))
+                if surfaces
+                else np.zeros((0, variable.resolution))
+            )
+            plans[var_name] = (np.asarray(entry_rules, dtype=np.intp), tensor, variable)
+        self._consequent_plans = plans
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache_info(self) -> CacheInfo:
+        """Current statistics of the crisp-inference LRU cache."""
+        return CacheInfo(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            size=len(self._cache) if self._cache is not None else 0,
+            max_size=self._cache_size,
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every memoised inference and reset the hit/miss counters."""
+        if self._cache is not None:
+            self._cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def _fill_degrees(self, inputs: Mapping[str, float]) -> np.ndarray:
+        buffer = self._degree_buffer
+        try:
+            for name, low, high, offset, evaluators in self._fuzzify_plan:
+                value = float(inputs[name])
+                if value < low:
+                    value = low
+                elif value > high:
+                    value = high
+                for k, evaluator in enumerate(evaluators):
+                    buffer[offset + k] = evaluator(value)
+        except KeyError:
+            missing = set(self._rule_base.input_variables) - set(inputs)
+            raise ValueError(
+                f"missing crisp inputs for variables: {sorted(missing)}"
+            ) from None
+        return buffer
+
+    def _firing_strengths(self, buffer: np.ndarray) -> np.ndarray:
+        picked = buffer[self._antecedent_index]
+        strengths = picked[:, 0]
+        tnorm = self._tnorm
+        for column in range(1, self._antecedent_width):
+            strengths = np.asarray(tnorm(strengths, picked[:, column]))
+        if not self._trivial_weights:
+            strengths = self._weights * strengths
+        return strengths
+
+    def _aggregate_output(
+        self,
+        strengths: np.ndarray,
+        entry_rules: np.ndarray,
+        tensor: np.ndarray,
+        var_name: str,
+        inputs: Mapping[str, float],
+    ) -> np.ndarray:
+        entry_strengths = strengths[entry_rules]
+        fired = entry_strengths > 0.0
+        if not fired.any():
+            raise DefuzzificationError(
+                f"no rule fired for output variable {var_name!r} with inputs "
+                f"{dict(inputs)!r}; the rule base does not cover this input region"
+            )
+        if fired.all():
+            surfaces, fired_strengths = tensor, entry_strengths
+        else:
+            surfaces, fired_strengths = tensor[fired], entry_strengths[fired]
+        if self._implication == ImplicationMethod.CLIP:
+            clipped = np.minimum(surfaces, fired_strengths[:, None])
+        else:
+            clipped = surfaces * fired_strengths[:, None]
+        if self._snorm is MAXIMUM:
+            # Clipped surfaces are non-negative, so the axis reduction equals
+            # the reference engine's fold from a zero surface bit-for-bit.
+            return clipped.max(axis=0)
+        aggregated = np.zeros(tensor.shape[1])
+        snorm = self._snorm
+        for row in clipped:
+            aggregated = np.asarray(snorm(aggregated, row))
+        return aggregated
+
+    def _defuzzify_fast(
+        self, var_name: str, variable: LinguisticVariable, surface: np.ndarray
+    ) -> float:
+        """Defuzzify an internally aggregated (hence valid) surface.
+
+        The validating ``__call__`` wrapper is skipped — at least one rule
+        fired, so the surface is in-range and non-zero.  For the exact
+        :class:`Centroid` defuzzifier the two ``np.trapezoid`` integrals are
+        replayed against the precomputed grid spacing, producing the same
+        value bit-for-bit with fewer array passes.
+        """
+        if self._fast_centroid:
+            grid = variable.grid
+            spacing = self._grid_diffs[var_name]
+            area = float((spacing * (surface[1:] + surface[:-1]) / 2.0).sum())
+            if area <= _EPS:  # pragma: no cover - unreachable after aggregation
+                raise DefuzzificationError("zero area under membership surface")
+            moment = surface * grid
+            return float((spacing * (moment[1:] + moment[:-1]) / 2.0).sum() / area)
+        return float(self._defuzzifier.defuzzify(variable.grid, surface))
+
+    def _cache_key(self, inputs: Mapping[str, float]) -> tuple:
+        try:
+            values = tuple(float(inputs[name]) for name in self._input_order)
+        except KeyError:
+            missing = set(self._rule_base.input_variables) - set(inputs)
+            raise ValueError(
+                f"missing crisp inputs for variables: {sorted(missing)}"
+            ) from None
+        quantization = self._cache_quantization
+        if quantization is not None:
+            return tuple(round(value / quantization) for value in values)
+        return values
+
+    def infer_crisp(self, inputs: Mapping[str, float]) -> CrispInference:
+        """Crisp outputs plus dominant rule, skipping all diagnostics.
+
+        This is the engine's hot path: identical numbers to :meth:`infer`
+        without materialising per-rule activation records or surface dicts.
+        """
+        cache = self._cache
+        if cache is not None:
+            key = self._cache_key(inputs)
+            hit = cache.get(key)
+            if hit is not None:
+                cache.move_to_end(key)
+                self._cache_hits += 1
+                return hit
+        buffer = self._fill_degrees(inputs)
+        strengths = self._firing_strengths(buffer)
+        outputs: dict[str, float] = {}
+        for var_name, (entry_rules, tensor, variable) in self._consequent_plans.items():
+            aggregated = self._aggregate_output(
+                strengths, entry_rules, tensor, var_name, inputs
+            )
+            outputs[var_name] = self._defuzzify_fast(var_name, variable, aggregated)
+        dominant = int(np.argmax(strengths))
+        result = CrispInference(
+            outputs=outputs,
+            dominant_index=dominant,
+            dominant_label=self._rule_base[dominant].label,
+        )
+        if cache is not None:
+            self._cache_misses += 1
+            cache[key] = result
+            if len(cache) > self._cache_size:
+                cache.popitem(last=False)
+        return result
+
+    def infer(self, inputs: Mapping[str, float]) -> InferenceResult:
+        """Full inference with the same diagnostics as the reference engine."""
+        buffer = self._fill_degrees(inputs)
+        degrees = {
+            name: {
+                term.name: float(buffer[offset + k])
+                for k, term in enumerate(self._rule_base.input_variables[name])
+            }
+            for name, _, _, offset, _ in self._fuzzify_plan
+        }
+        strengths = self._firing_strengths(buffer)
+        activations = tuple(
+            RuleActivation(rule, float(strength))
+            for rule, strength in zip(self._rule_base, strengths)
+        )
+        outputs: dict[str, float] = {}
+        aggregated: dict[str, np.ndarray] = {}
+        for var_name, (entry_rules, tensor, variable) in self._consequent_plans.items():
+            surface = self._aggregate_output(
+                strengths, entry_rules, tensor, var_name, inputs
+            )
+            aggregated[var_name] = surface
+            outputs[var_name] = self._defuzzifier(variable.grid, surface)
+        return InferenceResult(
+            outputs=outputs,
+            fuzzified_inputs=degrees,
+            activations=activations,
+            aggregated=aggregated,
+        )

@@ -13,6 +13,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from .compiled import CompiledMamdaniEngine, CrispInference, RuleCompilationError
 from .defuzzification import DEFAULT_DEFUZZIFIER, Defuzzifier, defuzzifier_by_name
 from .inference import ImplicationMethod, InferenceResult, MamdaniEngine
 from .operators import MAXIMUM, MINIMUM, SNorm, TNorm, snorm_by_name, tnorm_by_name
@@ -20,7 +21,13 @@ from .parser import parse_rules
 from .rules import FuzzyRule, RuleBase
 from .variables import LinguisticVariable
 
-__all__ = ["FuzzyController", "ControllerSpec"]
+__all__ = ["FuzzyController", "ControllerSpec", "ENGINE_CHOICES"]
+
+#: Inference engine selection accepted by :class:`FuzzyController`:
+#: ``"compiled"`` requires the vectorized fast path, ``"reference"`` forces
+#: the interpreted per-rule engine, ``"auto"`` compiles when the rule base
+#: allows it and silently falls back otherwise.
+ENGINE_CHOICES = ("auto", "compiled", "reference")
 
 
 @dataclass(frozen=True)
@@ -36,6 +43,7 @@ class ControllerSpec:
     snorm: str = "maximum"
     implication: str = ImplicationMethod.CLIP
     defuzzifier: str = "centroid"
+    engine: str = "auto"
 
     def build(
         self,
@@ -53,6 +61,7 @@ class ControllerSpec:
             snorm=snorm_by_name(self.snorm),
             implication=self.implication,
             defuzzifier=defuzzifier_by_name(self.defuzzifier),
+            engine=self.engine,
         )
 
 
@@ -68,6 +77,13 @@ class FuzzyController:
     rules:
         Either pre-built :class:`FuzzyRule` objects or a rule-DSL string /
         list of strings (see :mod:`repro.fuzzy.parser`).
+    engine:
+        ``"auto"`` (default) uses the vectorized
+        :class:`~repro.fuzzy.compiled.CompiledMamdaniEngine` whenever the
+        rule base is compilable and falls back to the interpreted
+        :class:`MamdaniEngine` otherwise; ``"compiled"`` requires the fast
+        path (raising :class:`RuleCompilationError` when impossible);
+        ``"reference"`` always interprets.
     """
 
     def __init__(
@@ -80,6 +96,7 @@ class FuzzyController:
         snorm: SNorm = MAXIMUM,
         implication: str = ImplicationMethod.CLIP,
         defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
+        engine: str = "auto",
     ):
         if isinstance(rules, str):
             rule_objs: Sequence[FuzzyRule] = parse_rules(rules)
@@ -93,15 +110,27 @@ class FuzzyController:
                     raise TypeError(
                         "rules must be FuzzyRule objects or rule strings, not a mix"
                     )
+        if engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
+            )
         self._name = name
         self._rule_base = RuleBase(rule_objs, inputs, outputs, name=f"{name}-rules")
-        self._engine = MamdaniEngine(
-            self._rule_base,
+        engine_kwargs = dict(
             tnorm=tnorm,
             snorm=snorm,
             implication=implication,
             defuzzifier=defuzzifier,
         )
+        if engine == "reference":
+            self._engine: MamdaniEngine = MamdaniEngine(self._rule_base, **engine_kwargs)
+        else:
+            try:
+                self._engine = CompiledMamdaniEngine(self._rule_base, **engine_kwargs)
+            except RuleCompilationError:
+                if engine == "compiled":
+                    raise
+                self._engine = MamdaniEngine(self._rule_base, **engine_kwargs)
 
     # ------------------------------------------------------------------
     @property
@@ -115,6 +144,13 @@ class FuzzyController:
     @property
     def engine(self) -> MamdaniEngine:
         return self._engine
+
+    @property
+    def engine_kind(self) -> str:
+        """``"compiled"`` when the fast path is active, else ``"reference"``."""
+        return (
+            "compiled" if isinstance(self._engine, CompiledMamdaniEngine) else "reference"
+        )
 
     @property
     def input_names(self) -> list[str]:
@@ -147,7 +183,32 @@ class FuzzyController:
                 f"controller {self._name!r} has {len(outputs)} outputs; "
                 "use evaluate() and index the result"
             )
-        return self._engine.infer(inputs)[outputs[0]]
+        engine = self._engine
+        if isinstance(engine, CompiledMamdaniEngine):
+            return engine.infer_crisp(inputs)[outputs[0]]
+        return engine.infer(inputs)[outputs[0]]
+
+    def crisp_decision(self, **inputs: float) -> CrispInference:
+        """Crisp outputs plus the dominant rule, via the fastest path.
+
+        With a compiled engine this skips all per-rule diagnostics; with the
+        reference engine the same record is distilled from a full
+        :class:`InferenceResult`.  FLC1 and FLC2 use this in the simulator
+        hot loop.
+        """
+        engine = self._engine
+        if isinstance(engine, CompiledMamdaniEngine):
+            return engine.infer_crisp(inputs)
+        result = engine.infer(inputs)
+        activations = result.activations
+        dominant = max(
+            range(len(activations)), key=lambda i: activations[i].firing_strength
+        )
+        return CrispInference(
+            outputs=dict(result.outputs),
+            dominant_index=dominant,
+            dominant_label=activations[dominant].rule.label,
+        )
 
     def compute_many(self, samples: Iterable[Mapping[str, float]]) -> list[float]:
         """Evaluate a batch of crisp input mappings (single-output controllers)."""

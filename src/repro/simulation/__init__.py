@@ -3,11 +3,21 @@
 from .config import BatchExperimentConfig, NetworkExperimentConfig, PAPER_REQUEST_COUNTS
 from .batch import BatchCallRecord, BatchRunOutput, run_batch_experiment
 from .engine import NetworkRunOutput, NetworkSimulation, run_network_experiment
+from .executor import (
+    EXECUTOR_CHOICES,
+    ProcessPoolSweepExecutor,
+    SerialExecutor,
+    SweepExecutionError,
+    SweepExecutor,
+    executor_by_name,
+)
 from .results import AggregatedResult, RunResult, aggregate_runs
 from .scenario import (
+    FACSControllerFactory,
     PAPER_ANGLE_VALUES_DEG,
     PAPER_DISTANCE_VALUES_KM,
     PAPER_SPEED_VALUES_KMH,
+    SCCControllerFactory,
     angle_sweep_variants,
     baseline_comparison_variants,
     controller_comparison_variants,
@@ -16,7 +26,13 @@ from .scenario import (
     scc_factory,
     speed_sweep_variants,
 )
-from .sweep import SweepCurve, SweepPoint, SweepResult, run_acceptance_sweep
+from .sweep import (
+    ReplicationTask,
+    SweepCurve,
+    SweepPoint,
+    SweepResult,
+    run_acceptance_sweep,
+)
 
 __all__ = [
     "BatchExperimentConfig",
@@ -34,9 +50,18 @@ __all__ = [
     "SweepPoint",
     "SweepCurve",
     "SweepResult",
+    "ReplicationTask",
     "run_acceptance_sweep",
+    "SweepExecutor",
+    "SerialExecutor",
+    "ProcessPoolSweepExecutor",
+    "SweepExecutionError",
+    "executor_by_name",
+    "EXECUTOR_CHOICES",
     "facs_factory",
     "scc_factory",
+    "FACSControllerFactory",
+    "SCCControllerFactory",
     "PAPER_SPEED_VALUES_KMH",
     "PAPER_ANGLE_VALUES_DEG",
     "PAPER_DISTANCE_VALUES_KM",

@@ -72,7 +72,7 @@ def _build_requests(config: BatchExperimentConfig, streams: StreamFactory) -> li
         for _ in range(config.request_count)
     )
     requests: list[Call] = []
-    for arrival in arrival_times:
+    for sequence, arrival in enumerate(arrival_times, start=1):
         service = config.traffic_mix.sample_class(class_rng)
         spec = config.traffic_mix.spec(service)
         user_state = config.user_profile.sample(user_rng)
@@ -85,6 +85,11 @@ def _build_requests(config: BatchExperimentConfig, streams: StreamFactory) -> li
                 user_state=user_state,
                 requested_at=arrival,
                 holding_time_s=holding,
+                # Per-run sequential ids (not the process-global counter), so
+                # run outputs — traces, and anything keyed or seeded by id —
+                # are a pure function of the config, identical in any process
+                # or execution order.
+                call_id=sequence,
             )
         )
     return requests
@@ -96,7 +101,7 @@ def run_batch_experiment(
     collect_trace: bool = False,
 ) -> BatchRunOutput:
     """Run one batch experiment and return metrics (and optionally the trace)."""
-    streams = StreamFactory(master_seed=config.seed + 1_000_003 * config.replication)
+    streams = StreamFactory(master_seed=config.stream_master_seed)
     requests = _build_requests(config, streams)
 
     env = Environment()

@@ -48,6 +48,17 @@ class BatchExperimentConfig:
                 f"arrival_window_s must be positive, got {self.arrival_window_s}"
             )
 
+    @property
+    def stream_master_seed(self) -> int:
+        """Master seed of this replication's random streams.
+
+        Combines the scenario seed with the replication index so replications
+        are independent; the derivation is a pure function of the config, so
+        any worker process reproduces the exact same streams regardless of
+        execution order.
+        """
+        return self.seed + 1_000_003 * self.replication
+
     def with_requests(self, request_count: int) -> "BatchExperimentConfig":
         """Copy of this config with a different request count."""
         return replace(self, request_count=request_count)

@@ -8,6 +8,7 @@ through these builders so the workload definitions live in exactly one place.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from ..cac.base import AdmissionController
@@ -20,6 +21,8 @@ from ..cellular.mobility import UserProfile
 from .config import BatchExperimentConfig
 
 __all__ = [
+    "FACSControllerFactory",
+    "SCCControllerFactory",
     "facs_factory",
     "scc_factory",
     "PAPER_SPEED_VALUES_KMH",
@@ -43,14 +46,36 @@ PAPER_ANGLE_VALUES_DEG: tuple[float, ...] = (0.0, 30.0, 50.0, 60.0, 90.0)
 PAPER_DISTANCE_VALUES_KM: tuple[float, ...] = (1.0, 3.0, 7.0, 10.0)
 
 
+# The factories are frozen-dataclass callables rather than lambdas so sweep
+# tasks can be pickled into the parallel executor's worker processes.
+@dataclass(frozen=True)
+class FACSControllerFactory:
+    """Picklable factory of fresh FACS controllers (one instance per run)."""
+
+    config: FACSConfig | None = None
+
+    def __call__(self) -> AdmissionController:
+        return FuzzyAdmissionControlSystem(self.config)
+
+
+@dataclass(frozen=True)
+class SCCControllerFactory:
+    """Picklable factory of fresh SCC controllers (one instance per run)."""
+
+    config: SCCConfig | None = None
+
+    def __call__(self) -> AdmissionController:
+        return ShadowClusterController(self.config)
+
+
 def facs_factory(config: FACSConfig | None = None) -> ControllerFactory:
     """Factory of FACS controllers (one fresh instance per run)."""
-    return lambda: FuzzyAdmissionControlSystem(config)
+    return FACSControllerFactory(config)
 
 
 def scc_factory(config: SCCConfig | None = None) -> ControllerFactory:
     """Factory of SCC controllers (one fresh instance per run)."""
-    return lambda: ShadowClusterController(config)
+    return SCCControllerFactory(config)
 
 
 def _base_config(seed: int) -> BatchExperimentConfig:

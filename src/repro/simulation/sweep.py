@@ -4,19 +4,36 @@ A sweep varies the number of requesting connections (the x axis of every
 figure) for one or more scenario variants (the curves: speed values, angle
 values, distance values, or controllers) and averages each point over several
 independent replications.
+
+Replications are mutually independent — each derives its random streams from
+``(seed, replication)`` alone — so the sweep flattens every
+``(variant, request count, replication)`` combination into one task list and
+hands it to a pluggable :class:`~repro.simulation.executor.SweepExecutor`.
+The serial backend reproduces the historical strictly-sequential behaviour;
+the process-pool backend fans the tasks across cores.  Either way the tasks
+carry their full seeded configuration and the results are reassembled in
+task order, so the returned :class:`SweepResult` is identical for every
+backend and worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+import sys
+from dataclasses import dataclass
+from typing import Mapping, Sequence
 
-from ..cac.base import AdmissionController
 from .batch import ControllerFactory, run_batch_experiment
 from .config import BatchExperimentConfig, PAPER_REQUEST_COUNTS
+from .executor import SerialExecutor, SweepExecutor, executor_by_name
 from .results import AggregatedResult, RunResult, aggregate_runs
 
-__all__ = ["SweepPoint", "SweepCurve", "SweepResult", "run_acceptance_sweep"]
+__all__ = [
+    "SweepPoint",
+    "SweepCurve",
+    "SweepResult",
+    "ReplicationTask",
+    "run_acceptance_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -37,6 +54,20 @@ class SweepCurve:
     controller: str
     points: tuple[SweepPoint, ...]
 
+    def __post_init__(self) -> None:
+        # Intern the strings so equal-valued results serialise to identical
+        # bytes whether the runs executed in-process or in a worker pool
+        # (unpickled worker strings are otherwise distinct objects and break
+        # pickle's memo sharing).
+        object.__setattr__(self, "label", sys.intern(self.label))
+        object.__setattr__(self, "controller", sys.intern(self.controller))
+        # Indexed lookup for point_at(); setdefault keeps the first point per
+        # request count, matching the historical linear-scan semantics.
+        index: dict[int, SweepPoint] = {}
+        for point in self.points:
+            index.setdefault(point.request_count, point)
+        object.__setattr__(self, "_point_index", index)
+
     def acceptance_series(self) -> list[float]:
         return [point.acceptance_percentage for point in self.points]
 
@@ -44,10 +75,12 @@ class SweepCurve:
         return [point.request_count for point in self.points]
 
     def point_at(self, request_count: int) -> SweepPoint:
-        for point in self.points:
-            if point.request_count == request_count:
-                return point
-        raise KeyError(f"curve {self.label!r} has no point at {request_count} requests")
+        try:
+            return self._point_index[request_count]
+        except KeyError:
+            raise KeyError(
+                f"curve {self.label!r} has no point at {request_count} requests"
+            ) from None
 
     def mean_acceptance(self) -> float:
         """Average acceptance percentage across the whole curve."""
@@ -62,17 +95,58 @@ class SweepResult:
     name: str
     curves: tuple[SweepCurve, ...]
 
-    def curve(self, label: str) -> SweepCurve:
+    def __post_init__(self) -> None:
+        # Indexed lookup for curve(); first curve wins on duplicate labels,
+        # matching the historical linear-scan semantics.
+        index: dict[str, SweepCurve] = {}
         for curve in self.curves:
-            if curve.label == label:
-                return curve
-        raise KeyError(
-            f"sweep {self.name!r} has no curve {label!r}; "
-            f"available: {[c.label for c in self.curves]}"
-        )
+            index.setdefault(curve.label, curve)
+        object.__setattr__(self, "_curve_index", index)
+
+    def curve(self, label: str) -> SweepCurve:
+        try:
+            return self._curve_index[label]
+        except KeyError:
+            raise KeyError(
+                f"sweep {self.name!r} has no curve {label!r}; "
+                f"available: {[c.label for c in self.curves]}"
+            ) from None
 
     def labels(self) -> list[str]:
         return [curve.label for curve in self.curves]
+
+
+@dataclass(frozen=True)
+class ReplicationTask:
+    """One fully seeded replication of one sweep point.
+
+    Self-contained and picklable (given a picklable controller factory), so
+    it can be executed in any process in any order.
+    """
+
+    label: str
+    request_count: int
+    replication: int
+    config: BatchExperimentConfig
+    controller_factory: ControllerFactory
+
+
+def _execute_replication(task: ReplicationTask) -> RunResult:
+    """Run one replication; module-level so process pools can pickle it."""
+    return run_batch_experiment(task.config, task.controller_factory).result
+
+
+def _resolve_executor(executor: SweepExecutor | str | None) -> SweepExecutor:
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, str):
+        return executor_by_name(executor)
+    if isinstance(executor, SweepExecutor):
+        return executor
+    raise TypeError(
+        f"executor must be a SweepExecutor, an executor name or None, "
+        f"got {type(executor).__name__}"
+    )
 
 
 def run_acceptance_sweep(
@@ -80,12 +154,16 @@ def run_acceptance_sweep(
     variants: Mapping[str, tuple[BatchExperimentConfig, ControllerFactory]],
     request_counts: Sequence[int] = PAPER_REQUEST_COUNTS,
     replications: int = 10,
+    executor: SweepExecutor | str | None = None,
 ) -> SweepResult:
     """Run the acceptance-vs-requests sweep for several scenario variants.
 
     ``variants`` maps a curve label to a (base config, controller factory)
     pair; for each requested connection count, ``replications`` independent
-    runs (different seeds) are executed and averaged.
+    runs (different seeds) are executed and averaged.  ``executor`` selects
+    the backend the replications run on (``None``/"serial" for in-process
+    order, "process" or a :class:`ProcessPoolSweepExecutor` for a worker
+    pool); the result is identical for every backend.
     """
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
@@ -93,19 +171,40 @@ def run_acceptance_sweep(
         raise ValueError("at least one variant is required")
     if not request_counts:
         raise ValueError("at least one request count is required")
+    backend = _resolve_executor(executor)
 
-    curves: list[SweepCurve] = []
+    tasks: list[ReplicationTask] = []
     for label, (base_config, controller_factory) in variants.items():
-        points: list[SweepPoint] = []
-        controller_name = ""
         for request_count in request_counts:
-            runs: list[RunResult] = []
             for replication in range(replications):
                 config = base_config.with_requests(request_count).with_seed(
                     base_config.seed, replication=replication
                 )
-                output = run_batch_experiment(config, controller_factory)
-                runs.append(output.result)
+                tasks.append(
+                    ReplicationTask(
+                        label=label,
+                        request_count=request_count,
+                        replication=replication,
+                        config=config,
+                        controller_factory=controller_factory,
+                    )
+                )
+
+    results = backend.map(_execute_replication, tasks)
+    if len(results) != len(tasks):  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"executor {backend.name!r} returned {len(results)} results "
+            f"for {len(tasks)} tasks"
+        )
+
+    # Reassemble in the same nested order the tasks were generated in.
+    cursor = iter(results)
+    curves: list[SweepCurve] = []
+    for label in variants:
+        points: list[SweepPoint] = []
+        controller_name = ""
+        for request_count in request_counts:
+            runs = [next(cursor) for _ in range(replications)]
             aggregated: AggregatedResult = aggregate_runs(runs)
             controller_name = aggregated.controller
             points.append(
@@ -116,5 +215,7 @@ def run_acceptance_sweep(
                     replications=aggregated.replications,
                 )
             )
-        curves.append(SweepCurve(label=label, controller=controller_name, points=tuple(points)))
+        curves.append(
+            SweepCurve(label=label, controller=controller_name, points=tuple(points))
+        )
     return SweepResult(name=name, curves=tuple(curves))

@@ -23,7 +23,12 @@ from repro.simulation.scenario import (
     scc_factory,
     speed_sweep_variants,
 )
-from repro.simulation.sweep import run_acceptance_sweep
+from repro.simulation.sweep import (
+    SweepCurve,
+    SweepPoint,
+    SweepResult,
+    run_acceptance_sweep,
+)
 
 
 class TestConfigs:
@@ -213,3 +218,82 @@ class TestSweep:
     def test_scc_factory_builds_fresh_instances(self):
         factory = scc_factory()
         assert factory() is not factory()
+
+
+def _point(request_count: int, acceptance: float = 50.0) -> SweepPoint:
+    return SweepPoint(
+        request_count=request_count,
+        acceptance_percentage=acceptance,
+        std_percentage=0.0,
+        replications=1,
+    )
+
+
+class TestIndexedLookups:
+    """point_at()/curve() use the O(1) indexes built at construction time."""
+
+    def test_point_at_returns_matching_point(self):
+        curve = SweepCurve("c", "FACS", (_point(10), _point(20), _point(30)))
+        assert curve.point_at(20).request_count == 20
+        with pytest.raises(KeyError, match="no point at 99"):
+            curve.point_at(99)
+
+    def test_point_at_keeps_first_duplicate(self):
+        # Duplicate x values are degenerate, but the indexed lookup must keep
+        # the linear-scan semantics: first match wins.
+        curve = SweepCurve("c", "FACS", (_point(10, 40.0), _point(10, 80.0)))
+        assert curve.point_at(10).acceptance_percentage == 40.0
+
+    def test_curve_lookup_and_first_duplicate(self):
+        first = SweepCurve("dup", "FACS", (_point(10, 1.0),))
+        second = SweepCurve("dup", "FACS", (_point(10, 2.0),))
+        result = SweepResult("s", (first, second))
+        assert result.curve("dup") is first
+        with pytest.raises(KeyError, match="no curve"):
+            result.curve("missing")
+
+    def test_indexes_survive_pickling(self):
+        import pickle
+
+        curve = SweepCurve("c", "FACS", (_point(10), _point(20)))
+        result = SweepResult("s", (curve,))
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.curve("c").point_at(20) == curve.point_at(20)
+
+    def test_large_curve_lookup_is_fast(self):
+        import time
+
+        points = tuple(_point(i) for i in range(5000))
+        curve = SweepCurve("big", "FACS", points)
+        start = time.perf_counter()
+        for _ in range(200):
+            curve.point_at(4999)
+        elapsed = time.perf_counter() - start
+        # 200 lookups at the far end of a 5000-point curve: O(n) scans would
+        # take ~tens of milliseconds; the index stays comfortably under that.
+        assert elapsed < 0.01
+
+
+class TestBatchDeterminism:
+    """Batch runs are pure functions of their config."""
+
+    def test_call_ids_are_per_run_sequential(self):
+        config = BatchExperimentConfig(request_count=12, seed=77)
+        output = run_batch_experiment(config, facs_factory(), collect_trace=True)
+        assert [record.call_id for record in output.records] == list(range(1, 13))
+
+    def test_traces_identical_across_runs(self):
+        # The global Call-id counter must not leak into results: two runs in
+        # the same process (different counter state) produce identical traces.
+        config = BatchExperimentConfig(request_count=30, seed=78)
+        first = run_batch_experiment(config, scc_factory(), collect_trace=True)
+        second = run_batch_experiment(config, scc_factory(), collect_trace=True)
+        assert first.records == second.records
+        assert first.result == second.result
+
+    def test_stream_master_seed_mixes_replication(self):
+        config = BatchExperimentConfig(seed=100, replication=0)
+        assert config.stream_master_seed == 100
+        assert config.with_seed(100, replication=2).stream_master_seed == (
+            100 + 2 * 1_000_003
+        )

@@ -26,6 +26,39 @@ class TestParser:
         assert args2.replications == 2
         assert args2.requests == [10, 20]
 
+    def test_performance_flag_defaults(self):
+        args = build_parser().parse_args(["run", "fig10-facs-vs-scc"])
+        assert args.executor == "serial"
+        assert args.workers is None
+        assert args.engine == "compiled"
+
+    def test_performance_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "fig10-facs-vs-scc",
+                "--executor",
+                "process",
+                "--workers",
+                "4",
+                "--engine",
+                "reference",
+            ]
+        )
+        assert args.executor == "process"
+        assert args.workers == 4
+        assert args.engine == "reference"
+
+    def test_workers_without_process_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig7-speed", "--workers", "4"])
+
+    def test_unknown_executor_and_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig7-speed", "--executor", "gpu"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig7-speed", "--engine", "warp"])
+
 
 class TestCommands:
     def test_list_prints_all_experiments(self, capsys):
@@ -59,3 +92,27 @@ class TestCommands:
     def test_benchmark_only_experiment_is_refused(self):
         with pytest.raises(SystemExit, match="benchmark-only"):
             main(["run", "abl-defuzz"])
+
+    def test_engine_choice_does_not_change_results(self, capsys):
+        base = ["run", "fig7-speed", "--replications", "1", "--requests", "15", "30"]
+        assert main(base + ["--engine", "compiled"]) == 0
+        compiled_output = capsys.readouterr().out
+        assert main(base + ["--engine", "reference"]) == 0
+        reference_output = capsys.readouterr().out
+        assert compiled_output == reference_output
+
+    def test_process_executor_matches_serial(self, capsys):
+        base = [
+            "run",
+            "fig10-facs-vs-scc",
+            "--replications",
+            "1",
+            "--requests",
+            "10",
+            "25",
+        ]
+        assert main(base) == 0
+        serial_output = capsys.readouterr().out
+        assert main(base + ["--executor", "process", "--workers", "2"]) == 0
+        parallel_output = capsys.readouterr().out
+        assert parallel_output == serial_output
