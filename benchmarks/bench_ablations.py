@@ -36,7 +36,11 @@ def test_ablation_acceptance_threshold(benchmark):
     """The crisp threshold on the soft A/R output trades acceptance for caution."""
     sweep = benchmark.pedantic(
         threshold_ablation,
-        kwargs={"thresholds": (-0.25, 0.0, 0.25, 0.5), "request_counts": (30, 70, 100), "replications": 4},
+        kwargs={
+            "thresholds": (-0.25, 0.0, 0.25, 0.5),
+            "request_counts": (30, 70, 100),
+            "replications": 4,
+        },
         rounds=1,
         iterations=1,
     )

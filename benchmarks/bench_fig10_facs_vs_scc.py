@@ -40,14 +40,18 @@ def test_fig10_facs_vs_scc(benchmark):
 
     # Shape 1: at light load (20-40 requests) FACS accepts at least as much as SCC.
     light_counts = (20, 30, 40)
-    facs_light = sum(facs.point_at(n).acceptance_percentage for n in light_counts) / len(light_counts)
+    facs_light = sum(
+        facs.point_at(n).acceptance_percentage for n in light_counts
+    ) / len(light_counts)
     scc_light = sum(scc.point_at(n).acceptance_percentage for n in light_counts) / len(light_counts)
     assert facs_light >= scc_light
 
     # Shape 2: at heavy load (90-100 requests) SCC accepts more than FACS,
     # because FACS holds back calls to protect the QoS of ongoing calls.
     heavy_counts = (90, 100)
-    facs_heavy = sum(facs.point_at(n).acceptance_percentage for n in heavy_counts) / len(heavy_counts)
+    facs_heavy = sum(
+        facs.point_at(n).acceptance_percentage for n in heavy_counts
+    ) / len(heavy_counts)
     scc_heavy = sum(scc.point_at(n).acceptance_percentage for n in heavy_counts) / len(heavy_counts)
     assert scc_heavy > facs_heavy
 

@@ -34,7 +34,9 @@ def test_fig7_speed_curves(benchmark):
 
     # Shape 2: vehicular users are accepted at least as much as walking users.
     slow_mean = min(sweep.curve("4km/h").mean_acceptance(), sweep.curve("10km/h").mean_acceptance())
-    fast_mean = max(sweep.curve("30km/h").mean_acceptance(), sweep.curve("60km/h").mean_acceptance())
+    fast_mean = max(
+        sweep.curve("30km/h").mean_acceptance(), sweep.curve("60km/h").mean_acceptance()
+    )
     assert fast_mean >= slow_mean
 
     # Shape 3: the gap is visible at the heavy-load end of the sweep.

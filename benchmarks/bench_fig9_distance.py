@@ -12,7 +12,6 @@ from conftest import BENCH_REPLICATIONS, BENCH_REQUEST_COUNTS, attach_curves
 from repro.experiments import (
     curve_spread,
     render_figure9,
-    reproduce_figure7,
     reproduce_figure8,
     reproduce_figure9,
 )

@@ -1,0 +1,139 @@
+"""Wall-clock benchmark: the multi-cell QoS sweep on the two-layer fast path.
+
+The network experiment was the last strictly serial, interpreted path in the
+repo.  This bench runs the same FACS arrival-rate sweep twice —
+
+* the historical configuration: interpreted reference engine, strictly
+  serial replications, and
+* the fast path: compiled engine, process-pool executor —
+
+and asserts
+
+* a >= 2x wall-clock speedup,
+* identical curves between the engines (the compiled engine is bit-identical
+  for the paper's min/max operators, so the sweeps must agree exactly), and
+* byte-identical results between serial, process and thread backends.
+
+It also writes ``results/BENCH_multicell.json`` with the timings and the
+reproduced QoS numbers, so every CI run appends a machine-readable point to
+the performance trajectory (the file is uploaded as a workflow artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import platform
+import time
+from pathlib import Path
+
+from repro.cac.facs.system import FACSConfig
+from repro.simulation import (
+    NetworkExperimentConfig,
+    NetworkSweepSpec,
+    ProcessPoolSweepExecutor,
+    ThreadPoolSweepExecutor,
+    run_network_sweep,
+)
+from repro.simulation.scenario import facs_factory
+
+BENCH_ARRIVAL_RATES = (0.02, 0.03, 0.04)
+BENCH_REPLICATIONS = 3
+PARALLEL_WORKERS = 4
+
+BASE_CONFIG = NetworkExperimentConfig(
+    rings=1,
+    cell_radius_km=1.5,
+    duration_s=900.0,
+    mean_speed_kmh=60.0,
+    seed=20070628,
+)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "BENCH_multicell.json"
+
+
+def _spec(engine: str) -> NetworkSweepSpec:
+    return NetworkSweepSpec(
+        name="bench-network-sweep",
+        controllers={"FACS": facs_factory(FACSConfig(engine=engine))},
+        arrival_rates=BENCH_ARRIVAL_RATES,
+        replications=BENCH_REPLICATIONS,
+        base_config=BASE_CONFIG,
+    )
+
+
+def test_network_sweep_parallel_compiled_speedup(benchmark):
+    start = time.perf_counter()
+    reference_sweep = run_network_sweep(_spec("reference"))
+    reference_seconds = time.perf_counter() - start
+
+    timing: dict[str, float] = {}
+
+    def run_fast_path():
+        start = time.perf_counter()
+        sweep = run_network_sweep(
+            _spec("compiled"),
+            executor=ProcessPoolSweepExecutor(max_workers=PARALLEL_WORKERS),
+        )
+        timing["seconds"] = time.perf_counter() - start
+        return sweep
+
+    fast_sweep = benchmark.pedantic(run_fast_path, rounds=1, iterations=1)
+    fast_seconds = timing["seconds"]
+
+    # Equivalence 1: the compiled engine is bit-identical to the reference
+    # engine for the paper's min/max operators, so every admission decision —
+    # and therefore every sweep point — must agree exactly.
+    for reference_curve, fast_curve in zip(reference_sweep.curves, fast_sweep.curves):
+        assert reference_curve.label == fast_curve.label
+        assert reference_curve.points == fast_curve.points
+
+    # Equivalence 2: byte-identical results across every backend.
+    serial_sweep = run_network_sweep(_spec("compiled"))
+    thread_sweep = run_network_sweep(
+        _spec("compiled"), executor=ThreadPoolSweepExecutor(max_workers=PARALLEL_WORKERS)
+    )
+    assert pickle.dumps(serial_sweep) == pickle.dumps(fast_sweep)
+    assert pickle.dumps(serial_sweep) == pickle.dumps(thread_sweep)
+
+    speedup = reference_seconds / fast_seconds
+    curve = fast_sweep.curve("FACS")
+    payload = {
+        "benchmark": "bench_network_sweep",
+        "config": {
+            "arrival_rates_per_cell_per_s": list(BENCH_ARRIVAL_RATES),
+            "replications": BENCH_REPLICATIONS,
+            "duration_s": BASE_CONFIG.duration_s,
+            "rings": BASE_CONFIG.rings,
+            "workers": PARALLEL_WORKERS,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "timings": {
+            "reference_serial_seconds": round(reference_seconds, 3),
+            "compiled_parallel_seconds": round(fast_seconds, 3),
+            "speedup": round(speedup, 2),
+        },
+        "qos": {
+            f"{point.arrival_rate_per_cell_per_s:g}": {
+                "acceptance_percentage": round(point.acceptance_percentage, 2),
+                "blocking_probability": round(point.blocking_probability, 4),
+                "dropping_probability": round(point.dropping_probability, 4),
+                "handoff_failure_ratio": round(point.handoff_failure_ratio, 4),
+                "mean_occupancy_bu": round(point.mean_occupancy_bu, 1),
+            }
+            for point in curve.points
+        },
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    benchmark.extra_info.update(payload["timings"])
+    benchmark.extra_info["results_file"] = str(RESULTS_PATH)
+    print(
+        f"\nnetwork sweep: reference+serial {reference_seconds:.2f}s, "
+        f"compiled+parallel({PARALLEL_WORKERS}) {fast_seconds:.2f}s, "
+        f"speedup {speedup:.2f}x -> {RESULTS_PATH.name}"
+    )
+    assert speedup >= 2.0

@@ -12,8 +12,6 @@ Run them with::
 
 from __future__ import annotations
 
-import pytest
-
 #: Request counts used by the figure benches (the x axis of Figs. 7-10).
 BENCH_REQUEST_COUNTS = (10, 30, 50, 70, 100)
 

@@ -66,7 +66,10 @@ def build_controller() -> FuzzyController:
 def main() -> None:
     controller = build_controller()
     print(controller)
-    print(f"Rule base: {len(controller.rule_base)} rules, complete={controller.rule_base.is_complete()}\n")
+    print(
+        f"Rule base: {len(controller.rule_base)} rules, "
+        f"complete={controller.rule_base.is_complete()}\n"
+    )
 
     signal_levels = [-105.0, -95.0, -85.0, -75.0, -60.0]
     series = {}

@@ -63,7 +63,10 @@ def main() -> None:
                 "Avg BU in use",
             ],
             rows,
-            title=f"7-cell network, {config.duration_s:.0f}s of Poisson arrivals, Gauss-Markov mobility",
+            title=(
+                f"7-cell network, {config.duration_s:.0f}s of Poisson arrivals, "
+                f"Gauss-Markov mobility"
+            ),
         )
     )
     print(

@@ -25,7 +25,10 @@ def main() -> None:
         ongoing = Call(service=ServiceClass.VOICE, bandwidth_units=5)
         station.allocate(ongoing)
         facs.on_admitted(ongoing, station, now=0.0)
-    print(f"Base station occupancy before new requests: {station.used_bu}/{station.capacity_bu} BU\n")
+    print(
+        f"Base station occupancy before new requests: "
+        f"{station.used_bu}/{station.capacity_bu} BU\n"
+    )
 
     requests = [
         ("pedestrian heading to BS", ServiceClass.VOICE, UserState(4.0, 0.0, 1.0)),
@@ -39,7 +42,11 @@ def main() -> None:
     for label, service, user in requests:
         call = Call(
             service=service,
-            bandwidth_units={ServiceClass.TEXT: 1, ServiceClass.VOICE: 5, ServiceClass.VIDEO: 10}[service],
+            bandwidth_units={
+                ServiceClass.TEXT: 1,
+                ServiceClass.VOICE: 5,
+                ServiceClass.VIDEO: 10,
+            }[service],
             user_state=user,
         )
         decision = facs.decide(call, station, now=0.0)

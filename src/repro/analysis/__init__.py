@@ -2,7 +2,7 @@
 
 from .stats import SummaryStatistics, paired_difference, summarize, t_confidence_interval
 from .tables import format_curve_table, format_table
-from .plotting import ascii_line_plot, ascii_membership_plot
+from .plotting import ascii_heatmap, ascii_line_plot, ascii_membership_plot
 from .io import read_sweep_csv, sweep_to_rows, write_sweep_csv
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "format_curve_table",
     "ascii_line_plot",
     "ascii_membership_plot",
+    "ascii_heatmap",
     "sweep_to_rows",
     "write_sweep_csv",
     "read_sweep_csv",

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Sequence
 
 from ..simulation.sweep import SweepCurve, SweepPoint, SweepResult
 

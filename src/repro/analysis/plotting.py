@@ -9,9 +9,12 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["ascii_line_plot", "ascii_membership_plot"]
+__all__ = ["ascii_line_plot", "ascii_membership_plot", "ascii_heatmap"]
 
 _MARKERS = "ox+*#@%&"
+
+#: Density ramp of :func:`ascii_heatmap`, lightest to darkest.
+_HEAT_RAMP = " .:-=+*#%@"
 
 
 def ascii_line_plot(
@@ -72,6 +75,65 @@ def ascii_line_plot(
     lines.append("legend: " + legend)
     if y_label:
         lines.append(f"y axis: {y_label}")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    x_values: Sequence[float],
+    y_values: Sequence[float],
+    values: Sequence[Sequence[float]],
+    ramp: str = _HEAT_RAMP,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render a ``(len(y_values), len(x_values))`` grid as an ASCII heatmap.
+
+    The natural companion of the engines' tensorized ``control_surface``:
+    row ``i`` of ``values`` holds the outputs for ``y_values[i]`` across all
+    ``x_values``, and darker ramp characters mean larger values.  Rows are
+    printed top-down from the largest ``y`` so the orientation matches a
+    conventional plot.
+    """
+    if len(ramp) < 2:
+        raise ValueError("ramp needs at least two characters")
+    if not len(x_values) or not len(y_values):
+        raise ValueError("x and y axes must be non-empty")
+    rows = [list(row) for row in values]
+    if len(rows) != len(y_values) or any(len(row) != len(x_values) for row in rows):
+        raise ValueError(
+            f"values must form a {len(y_values)}x{len(x_values)} grid, "
+            f"got {len(rows)} rows of lengths {sorted({len(row) for row in rows})}"
+        )
+    flat = [value for row in rows for value in row]
+    v_min, v_max = min(flat), max(flat)
+    span = v_max - v_min
+    scale = (len(ramp) - 1) / span if span > 1e-12 else 0.0
+
+    def shade(value: float) -> str:
+        return ramp[int(round((value - v_min) * scale))]
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index in range(len(y_values) - 1, -1, -1):
+        cells = "".join(shade(value) for value in rows[row_index])
+        lines.append(f"{y_values[row_index]:8.2f} |{cells}")
+    lines.append(" " * 9 + "+" + "-" * len(x_values))
+    x_min, x_max = x_values[0], x_values[-1]
+    if len(x_values) >= 22:
+        # Wide grid: pin the endpoint values under the axis edges with the
+        # label centred between them (mirrors ascii_line_plot).
+        lines.append(
+            f"{'':9}{x_min:<10.2f}{x_label:^{len(x_values) - 20}}{x_max:>10.2f}"
+        )
+    else:
+        label = f"  {x_label}" if x_label else ""
+        lines.append(f"{'':9}{x_min:g} .. {x_max:g} on x{label}")
+    lines.append(
+        f"scale: {ramp[0]!r} = {v_min:.3f} ... {ramp[-1]!r} = {v_max:.3f}"
+        + (f"   ({y_label} on y)" if y_label else "")
+    )
     return "\n".join(lines)
 
 

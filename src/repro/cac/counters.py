@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cellular.calls import Call
-from ..cellular.traffic import PAPER_BANDWIDTH_UNITS, ServiceClass
+from ..cellular.traffic import PAPER_BANDWIDTH_UNITS
 
 __all__ = ["ServiceCounters", "CounterSnapshot"]
 

@@ -19,7 +19,7 @@ Universe conventions (Section 4 of the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...cellular.traffic import PAPER_BANDWIDTH_UNITS
 from ...fuzzy.membership import Trapezoidal, Triangular

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ...cellular.mobility import UserState
 from ...fuzzy.controller import FuzzyController
 from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
@@ -78,6 +80,27 @@ class FLC1:
     ) -> float:
         """Compute Cv for raw crisp inputs (clamped to their universes)."""
         return self._controller.compute(S=speed_kmh, A=angle_deg, D=distance_km)
+
+    def correction_values(
+        self,
+        speeds_kmh: np.ndarray,
+        angles_deg: np.ndarray,
+        distances_km: np.ndarray,
+    ) -> np.ndarray:
+        """Cv for whole vectors of observations in one tensorized pass.
+
+        Bit-identical to calling :meth:`evaluate` per element (including its
+        [0, 1] clip): the compiled engine evaluates the batch through its
+        antecedent/consequent tensors, the reference engine falls back to a
+        per-row loop.
+        """
+        return np.clip(
+            self._controller.compute_batch(
+                S=speeds_kmh, A=angles_deg, D=distances_km
+            ),
+            0.0,
+            1.0,
+        )
 
     def evaluate(self, user: UserState) -> CorrectionResult:
         """Compute Cv for a :class:`UserState`, with rule diagnostics."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ...fuzzy.controller import FuzzyController
 from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
 from ..base import DecisionOutcome
@@ -81,6 +83,26 @@ class FLC2:
         """Defuzzified A/R score in [-1, 1] for raw crisp inputs."""
         return self._controller.compute(
             Cv=correction_value, R=request_bu, Cs=counter_state_bu
+        )
+
+    def decision_scores(
+        self,
+        correction_values: np.ndarray,
+        request_bus: np.ndarray,
+        counter_states_bu: np.ndarray,
+    ) -> np.ndarray:
+        """A/R scores for whole input vectors in one tensorized pass.
+
+        Bit-identical to calling :meth:`evaluate` per element (including its
+        [-1, 1] clip); the batched counterpart of the simulator's scalar
+        admission decision.
+        """
+        return np.clip(
+            self._controller.compute_batch(
+                Cv=correction_values, R=request_bus, Cs=counter_states_bu
+            ),
+            -1.0,
+            1.0,
         )
 
     def evaluate(

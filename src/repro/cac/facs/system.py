@@ -19,6 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
 
 from ...cellular.calls import Call
 from ...cellular.cell import BaseStation
@@ -30,7 +33,7 @@ from .config import DEFAULT_FLC1_CONFIG, DEFAULT_FLC2_CONFIG, FLC1Config, FLC2Co
 from .flc1 import FLC1
 from .flc2 import FLC2
 
-__all__ = ["FACSConfig", "FuzzyAdmissionControlSystem"]
+__all__ = ["FACSConfig", "FuzzyAdmissionControlSystem", "BatchAdmissionDecision"]
 
 #: Correction value assumed when a request carries no GPS observation.
 _NEUTRAL_CORRECTION = 0.5
@@ -69,9 +72,9 @@ def _shared_flc1(config: FLC1Config, defuzzifier: Defuzzifier, engine: str) -> F
     compilation — costs a few milliseconds, which dominates short
     replications when every run builds a fresh FACS.  FLC1/FLC2 hold no
     per-call state, so instances are shared across FACS systems with the
-    same configuration.  (Engines reuse an internal scratch buffer and are
-    not thread-safe; the parallel sweep executor uses processes, where each
-    worker owns its own memo.)
+    same configuration — including across threads: the compiled engine keeps
+    its scratch buffer in thread-local storage, so the thread-pool sweep
+    executor can share one memoised controller between workers.
     """
     return FLC1(config, defuzzifier=defuzzifier, engine=engine)
 
@@ -80,6 +83,25 @@ def _shared_flc1(config: FLC1Config, defuzzifier: Defuzzifier, engine: str) -> F
 def _shared_flc2(config: FLC2Config, defuzzifier: Defuzzifier, engine: str) -> FLC2:
     """Build (or reuse) the FLC2 for a configuration (see :func:`_shared_flc1`)."""
     return FLC2(config, defuzzifier=defuzzifier, engine=engine)
+
+
+@dataclass(frozen=True)
+class BatchAdmissionDecision:
+    """Vectorized what-if admission outcome for ``N`` candidate requests.
+
+    All candidates are scored against the *same* base-station snapshot —
+    nothing is admitted and no state changes — so element ``i`` equals what
+    :meth:`FuzzyAdmissionControlSystem.decide` would return for candidate
+    ``i`` against that snapshot.
+    """
+
+    scores: np.ndarray
+    accepted: np.ndarray
+    correction_values: np.ndarray
+    counter_state_bu: float
+
+    def __len__(self) -> int:
+        return int(self.scores.shape[0])
 
 
 class FuzzyAdmissionControlSystem(AdmissionController):
@@ -140,6 +162,68 @@ class FuzzyAdmissionControlSystem(AdmissionController):
         if user is None:
             return _NEUTRAL_CORRECTION
         return self._flc1.evaluate(user.clamped()).correction_value
+
+    def correction_values(
+        self, users: Sequence[UserState | None]
+    ) -> np.ndarray:
+        """FLC1 stage for a whole vector of observations in one pass.
+
+        Bit-identical to :meth:`correction_value` per element; observations
+        of ``None`` get the neutral correction, exactly as in the scalar
+        path.
+        """
+        count = len(users)
+        speeds = np.zeros(count)
+        angles = np.zeros(count)
+        distances = np.zeros(count)
+        observed = np.zeros(count, dtype=bool)
+        for i, user in enumerate(users):
+            if user is None:
+                continue
+            clamped = user.clamped()
+            observed[i] = True
+            speeds[i] = clamped.speed_kmh
+            angles[i] = clamped.angle_deg
+            distances[i] = clamped.distance_km
+        values = np.full(count, _NEUTRAL_CORRECTION)
+        if observed.all():
+            return self._flc1.correction_values(speeds, angles, distances)
+        if observed.any():
+            values[observed] = self._flc1.correction_values(
+                speeds[observed], angles[observed], distances[observed]
+            )
+        return values
+
+    def decide_batch(
+        self, calls: Sequence[Call], station: BaseStation, now: float
+    ) -> BatchAdmissionDecision:
+        """Score ``N`` candidate requests against one station snapshot.
+
+        The batched admission path: the cascaded FLC1 → FLC2 evaluation runs
+        once over the whole candidate vector through the engines'
+        tensorized ``infer_batch``.  No candidate is admitted and no counter
+        moves, so this answers "which of these would be accepted *right
+        now*" — element for element identical to calling :meth:`decide` on
+        the unchanged station.
+        """
+        corrections = self.correction_values([call.user_state for call in calls])
+        bandwidths = np.array([float(call.bandwidth_units) for call in calls])
+        counter_state = float(station.used_bu)
+        scores = self._flc2.decision_scores(
+            corrections,
+            bandwidths,
+            np.full(len(calls), counter_state),
+        )
+        fits = np.array(
+            [station.can_fit(call.bandwidth_units) for call in calls], dtype=bool
+        )
+        accepted = (scores > self._config.acceptance_threshold) & fits
+        return BatchAdmissionDecision(
+            scores=scores,
+            accepted=accepted,
+            correction_values=corrections,
+            counter_state_bu=counter_state,
+        )
 
     def decide(self, call: Call, station: BaseStation, now: float) -> AdmissionDecision:
         """The cascaded FLC1 → FLC2 admission decision."""

@@ -81,9 +81,15 @@ class FractionalGuardController(AdmissionController):
                 f"{station.free_bu} BU free"
             )
         elif accepted:
-            reason = f"admitted with probability {probability:.2f} at {station.used_bu} BU occupancy"
+            reason = (
+                f"admitted with probability {probability:.2f} "
+                f"at {station.used_bu} BU occupancy"
+            )
         else:
-            reason = f"thinned with probability {1 - probability:.2f} at {station.used_bu} BU occupancy"
+            reason = (
+                f"thinned with probability {1 - probability:.2f} "
+                f"at {station.used_bu} BU occupancy"
+            )
         return AdmissionDecision(
             accepted=accepted,
             score=2.0 * probability - 1.0,

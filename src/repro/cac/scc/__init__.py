@@ -1,6 +1,11 @@
 """Shadow Cluster Concept (SCC) baseline admission controller."""
 
-from .projection import ProjectionConfig, ResidencyProjection, expected_exit_time_s, project_residency
+from .projection import (
+    ProjectionConfig,
+    ResidencyProjection,
+    expected_exit_time_s,
+    project_residency,
+)
 from .demand import DemandEstimator, DemandProfile
 from .system import SCCConfig, ShadowClusterController
 

@@ -10,7 +10,7 @@ any interval of the horizon.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...cellular.calls import Call
 from .projection import ProjectionConfig, ResidencyProjection, project_residency

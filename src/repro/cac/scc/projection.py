@@ -26,7 +26,7 @@ standard SCC behaviour and the Fig. 10 crossover is robust to the constants
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...cellular.mobility import UserState
 

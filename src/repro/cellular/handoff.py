@@ -11,7 +11,7 @@ the same handoff stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from .calls import Call, CallType
 from .cell import Cell

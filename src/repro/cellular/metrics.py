@@ -9,7 +9,7 @@ CAC literature uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .calls import Call, CallState, CallType
 from .traffic import ServiceClass

@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 import math
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from .geometry import Point, Vector, heading_between, normalize_angle, relative_angle

@@ -8,7 +8,7 @@ the network for the cells along a mobile's projected trajectory.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator
 
 import networkx as nx
 

@@ -15,7 +15,7 @@ system uses to route accepted calls to the RTC and NRTC counters.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np

@@ -4,43 +4,85 @@
 ``python -m repro run <experiment-id>`` regenerates one of them and prints
 the same tables/plots the benchmarks produce.  The figure experiments accept
 ``--replications`` and ``--requests`` so quick looks and full-fidelity runs
-use the same entry point.
+use the same entry point.  ``python -m repro network-sweep`` drives the
+multi-cell QoS sweep with full control over load points, topology and the
+executor/engine fast paths.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from .analysis.tables import format_table
 from .cac.facs.system import FACSConfig
 from .simulation.executor import EXECUTOR_CHOICES, SweepExecutor, executor_by_name
+from .simulation.sweep import PAPER_NETWORK_ARRIVAL_RATES, run_network_sweep
 from .experiments import (
+    DEFAULT_NETWORK_BASE_CONFIG,
     EXPERIMENTS,
     experiment_ids,
+    network_sweep_controllers,
+    network_sweep_spec,
     render_figure7,
     render_figure8,
     render_figure9,
     render_figure10,
     render_flc1_memberships,
+    render_flc1_surface,
     render_flc2_memberships,
+    render_flc2_surface,
     render_frb1,
     render_frb2,
+    render_network_sweep,
     reproduce_figure7,
     reproduce_figure8,
     reproduce_figure9,
     reproduce_figure10,
+    reproduce_network_sweep,
 )
 
 __all__ = ["main", "build_parser"]
+
+#: Controller labels selectable via ``network-sweep --controllers``.
+NETWORK_CONTROLLER_CHOICES = ("FACS", "SCC", "CS")
+
+
+def _add_performance_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared --executor/--workers/--engine flag group."""
+    parser.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_CHOICES),
+        default="serial",
+        help="sweep backend: run replications in-process (serial) or fan them "
+        "out over a worker pool (process/thread); results are identical "
+        "for every backend and worker count",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for --executor process/thread (default: all cores)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["compiled", "reference"],
+        default="compiled",
+        help="fuzzy inference engine for the FACS controllers: the vectorized "
+        "compiled fast path (default) or the interpreted reference engine",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Reproduce the tables and figures of the FACS paper (Barolli et al., ICDCSW 2007).",
+        description=(
+            "Reproduce the tables and figures of the FACS paper "
+            "(Barolli et al., ICDCSW 2007)."
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -52,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--replications",
         type=int,
         default=5,
-        help="independent replications per sweep point (figure experiments only)",
+        help="independent replications per sweep point (sweep experiments only)",
     )
     run.add_argument(
         "--requests",
@@ -61,26 +103,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=[10, 30, 50, 70, 100],
         help="numbers of requesting connections to sweep (figure experiments only)",
     )
-    run.add_argument(
-        "--executor",
-        choices=list(EXECUTOR_CHOICES),
-        default="serial",
-        help="sweep backend: run replications in-process (serial) or fan them "
-        "out over a worker pool (process); results are identical either way",
+    _add_performance_flags(run)
+
+    network = subparsers.add_parser(
+        "network-sweep",
+        help="run the multi-cell QoS sweep (blocking/dropping/handoff failure "
+        "vs offered load)",
     )
-    run.add_argument(
-        "--workers",
+    network.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=list(PAPER_NETWORK_ARRIVAL_RATES),
+        help="per-cell arrival rates (calls/s) to sweep",
+    )
+    network.add_argument(
+        "--replications",
         type=int,
-        default=None,
-        help="worker processes for --executor process (default: all cores)",
+        default=3,
+        help="independent replications per (controller, rate) point",
     )
-    run.add_argument(
-        "--engine",
-        choices=["compiled", "reference"],
-        default="compiled",
-        help="fuzzy inference engine for the FACS controllers: the vectorized "
-        "compiled fast path (default) or the interpreted reference engine",
+    network.add_argument(
+        "--duration",
+        type=float,
+        default=600.0,
+        help="simulated seconds of Poisson arrivals per replication",
     )
+    network.add_argument(
+        "--rings",
+        type=int,
+        default=1,
+        help="hexagonal rings around the centre cell (1 ring = 7 cells)",
+    )
+    network.add_argument(
+        "--controllers",
+        nargs="+",
+        choices=list(NETWORK_CONTROLLER_CHOICES),
+        default=list(NETWORK_CONTROLLER_CHOICES),
+        help="admission controllers to compare",
+    )
+    network.add_argument(
+        "--seed",
+        type=int,
+        default=20070627,
+        help="master seed; replications derive independent streams from it",
+    )
+    _add_performance_flags(network)
     return parser
 
 
@@ -100,7 +168,19 @@ def _run_experiment(
         return render_flc1_memberships()
     if experiment == "fig6-flc2-mf":
         return render_flc2_memberships()
+    if experiment == "surface-flc1":
+        return render_flc1_surface(engine=engine)
+    if experiment == "surface-flc2":
+        return render_flc2_surface(engine=engine)
     facs_config = FACSConfig(engine=engine)
+    if experiment == "net-sweep":
+        return render_network_sweep(
+            reproduce_network_sweep(
+                replications=replications,
+                executor=executor,
+                facs_config=facs_config,
+            )
+        )
     sweep_kwargs = dict(
         request_counts=requests,
         replications=replications,
@@ -134,13 +214,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_table(["Experiment", "Paper artifact", "Benchmark"], rows))
         return 0
 
-    if args.command == "run":
+    if args.command in ("run", "network-sweep"):
         if args.workers is not None and args.executor == "serial":
-            parser.error("--workers requires --executor process")
+            parser.error("--workers requires --executor process or thread")
         try:
             executor = executor_by_name(args.executor, workers=args.workers)
         except ValueError as exc:
             parser.error(str(exc))
+
+    if args.command == "run":
         print(
             _run_experiment(
                 args.experiment,
@@ -150,6 +232,31 @@ def main(argv: Sequence[str] | None = None) -> int:
                 engine=args.engine,
             )
         )
+        return 0
+
+    if args.command == "network-sweep":
+        all_controllers = network_sweep_controllers(
+            facs_config=FACSConfig(engine=args.engine)
+        )
+        controllers = {
+            label: all_controllers[label]
+            for label in dict.fromkeys(args.controllers)
+        }
+        try:
+            spec = network_sweep_spec(
+                arrival_rates=tuple(args.rates),
+                replications=args.replications,
+                base_config=replace(
+                    DEFAULT_NETWORK_BASE_CONFIG,
+                    rings=args.rings,
+                    duration_s=args.duration,
+                    seed=args.seed,
+                ),
+                controllers=controllers,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(render_network_sweep(run_network_sweep(spec, executor=executor)))
         return 0
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -57,7 +57,9 @@ class EventQueue:
 
     def push(self, event: "Event", time: float, priority: int = Priority.NORMAL) -> ScheduledItem:
         """Schedule ``event`` at absolute simulated ``time``."""
-        item = ScheduledItem(time=time, priority=priority, sequence=next(self._sequence), event=event)
+        item = ScheduledItem(
+            time=time, priority=priority, sequence=next(self._sequence), event=event
+        )
         heapq.heappush(self._heap, item)
         self._live += 1
         return item

@@ -20,7 +20,16 @@ from .events import Event
 if TYPE_CHECKING:  # pragma: no cover
     from .environment import Environment
 
-__all__ = ["Request", "Release", "Resource", "PriorityRequest", "PriorityResource", "Container", "ContainerGet", "ContainerPut"]
+__all__ = [
+    "Request",
+    "Release",
+    "Resource",
+    "PriorityRequest",
+    "PriorityResource",
+    "Container",
+    "ContainerGet",
+    "ContainerPut",
+]
 
 
 class Request(Event):

@@ -9,7 +9,6 @@ simulation studies.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np

@@ -21,6 +21,14 @@ from .ablations import (
     network_integration,
     threshold_ablation,
 )
+from .network_sweep import (
+    DEFAULT_NETWORK_BASE_CONFIG,
+    network_sweep_controllers,
+    network_sweep_spec,
+    render_network_sweep,
+    reproduce_network_sweep,
+)
+from .surfaces import render_flc1_surface, render_flc2_surface
 
 __all__ = [
     "ExperimentSpec",
@@ -45,4 +53,11 @@ __all__ = [
     "threshold_ablation",
     "baseline_ablation",
     "network_integration",
+    "DEFAULT_NETWORK_BASE_CONFIG",
+    "network_sweep_controllers",
+    "network_sweep_spec",
+    "reproduce_network_sweep",
+    "render_network_sweep",
+    "render_flc1_surface",
+    "render_flc2_surface",
 ]

@@ -9,7 +9,6 @@ driven from this registry so the experiment inventory lives in one place.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 __all__ = ["ExperimentSpec", "EXPERIMENTS", "experiment", "experiment_ids"]
 
@@ -134,6 +133,42 @@ EXPERIMENTS: tuple[ExperimentSpec, ...] = (
         expected_shape="FACS keeps handoff dropping at or below the Complete Sharing level",
         bench_target="benchmarks/bench_network.py",
         runner="repro.experiments.ablations.network_integration",
+    ),
+    ExperimentSpec(
+        experiment_id="net-sweep",
+        paper_artifact="Section 4 QoS claim (load sweep)",
+        description=(
+            "Multi-cell QoS sweep: blocking/dropping/handoff failure vs per-cell "
+            "arrival rate for FACS, SCC and Complete Sharing"
+        ),
+        expected_shape=(
+            "dropping and handoff failure grow with offered load; FACS holds "
+            "dropping at or below the Complete Sharing level throughout"
+        ),
+        bench_target="benchmarks/bench_network_sweep.py",
+        runner="repro.experiments.network_sweep.reproduce_network_sweep",
+    ),
+    ExperimentSpec(
+        experiment_id="surface-flc1",
+        paper_artifact="Section 3.1 (derived)",
+        description="FLC1 control surface: Cv over the (speed, angle) plane",
+        expected_shape=(
+            "Cv is highest for fast users heading straight at the BS and "
+            "falls off as the angle grows"
+        ),
+        bench_target="benchmarks/bench_compiled_engine.py",
+        runner="repro.experiments.surfaces.render_flc1_surface",
+    ),
+    ExperimentSpec(
+        experiment_id="surface-flc2",
+        paper_artifact="Section 3.2 (derived)",
+        description="FLC2 control surface: A/R over the (Cv, counter state) plane",
+        expected_shape=(
+            "A/R decreases with occupancy and increases with Cv; the accept "
+            "region shrinks as the counters fill"
+        ),
+        bench_target="benchmarks/bench_compiled_engine.py",
+        runner="repro.experiments.surfaces.render_flc2_surface",
     ),
 )
 

@@ -1,0 +1,159 @@
+"""The multi-cell QoS sweep: the paper's Section 4 claim at network scale.
+
+The single-cell figures only show acceptance; the QoS argument — FACS keeps
+*ongoing* calls alive by holding back new ones — needs the full multi-cell
+simulation with mobility and handoffs.  This experiment sweeps the per-cell
+arrival rate for several controllers and reports blocking, dropping and
+handoff failure per point, fanned over the pluggable sweep executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping, Sequence
+
+from ..analysis.plotting import ascii_line_plot
+from ..analysis.tables import format_table
+from ..cac.complete_sharing import CompleteSharingController
+from ..cac.facs.system import FACSConfig
+from ..cac.scc.system import SCCConfig
+from ..simulation.config import NetworkExperimentConfig
+from ..simulation.engine import ControllerFactory
+from ..simulation.executor import SweepExecutor
+from ..simulation.scenario import facs_factory, scc_factory
+from ..simulation.sweep import (
+    PAPER_NETWORK_ARRIVAL_RATES,
+    NetworkSweepResult,
+    NetworkSweepSpec,
+    run_network_sweep,
+)
+
+__all__ = [
+    "DEFAULT_NETWORK_BASE_CONFIG",
+    "network_sweep_controllers",
+    "network_sweep_spec",
+    "reproduce_network_sweep",
+    "render_network_sweep",
+]
+
+#: Canonical multi-cell scenario of the QoS sweep; the CLI derives its
+#: config from this too, so topology changes stay in one place.
+DEFAULT_NETWORK_BASE_CONFIG = NetworkExperimentConfig(
+    rings=1,
+    cell_radius_km=1.5,
+    duration_s=1200.0,
+    mean_speed_kmh=60.0,
+    seed=20070627,
+)
+
+
+def network_sweep_controllers(
+    facs_config: FACSConfig | None = None,
+    scc_config: SCCConfig | None = None,
+) -> Mapping[str, ControllerFactory]:
+    """The default curve set: FACS and SCC against Complete Sharing."""
+    return {
+        "FACS": facs_factory(facs_config),
+        "SCC": scc_factory(scc_config),
+        "CS": CompleteSharingController,
+    }
+
+
+def network_sweep_spec(
+    arrival_rates: Sequence[float] = PAPER_NETWORK_ARRIVAL_RATES,
+    replications: int = 5,
+    base_config: NetworkExperimentConfig | None = None,
+    controllers: Mapping[str, ControllerFactory] | None = None,
+    facs_config: FACSConfig | None = None,
+    seed: int | None = None,
+) -> NetworkSweepSpec:
+    """Build the canonical network sweep specification.
+
+    ``seed`` reseeds the canonical base config; when a ``base_config`` is
+    supplied its own seed is authoritative, and passing both is rejected so
+    a caller's seed is never silently dropped.
+    """
+    if base_config is None:
+        base_config = replace(
+            DEFAULT_NETWORK_BASE_CONFIG,
+            seed=DEFAULT_NETWORK_BASE_CONFIG.seed if seed is None else seed,
+        )
+    elif seed is not None:
+        raise ValueError(
+            "pass either base_config or seed, not both — set the seed on the "
+            "base_config"
+        )
+    if controllers is None:
+        controllers = network_sweep_controllers(facs_config=facs_config)
+    return NetworkSweepSpec(
+        name="network-qos-sweep",
+        controllers=controllers,
+        arrival_rates=tuple(arrival_rates),
+        replications=replications,
+        base_config=base_config,
+    )
+
+
+def reproduce_network_sweep(
+    arrival_rates: Sequence[float] = PAPER_NETWORK_ARRIVAL_RATES,
+    replications: int = 5,
+    executor: SweepExecutor | str | None = None,
+    facs_config: FACSConfig | None = None,
+    base_config: NetworkExperimentConfig | None = None,
+    controllers: Mapping[str, ControllerFactory] | None = None,
+) -> NetworkSweepResult:
+    """Run the multi-cell QoS sweep with the canonical controller set."""
+    spec = network_sweep_spec(
+        arrival_rates=arrival_rates,
+        replications=replications,
+        base_config=base_config,
+        controllers=controllers,
+        facs_config=facs_config,
+    )
+    return run_network_sweep(spec, executor=executor)
+
+
+def render_network_sweep(result: NetworkSweepResult) -> str:
+    """Render the sweep as per-controller QoS tables plus dropping curves."""
+    sections: list[str] = []
+    for curve in result.curves:
+        rows = [
+            [
+                f"{point.arrival_rate_per_cell_per_s:g}",
+                f"{point.acceptance_percentage:.1f}%",
+                f"{point.blocking_probability:.3f}",
+                f"{point.dropping_probability:.3f}",
+                f"{point.handoff_failure_ratio:.3f}",
+                f"{point.mean_occupancy_bu:.1f}",
+                point.replications,
+            ]
+            for point in curve.points
+        ]
+        sections.append(
+            format_table(
+                [
+                    "Rate (calls/s/cell)",
+                    "Accepted",
+                    "P(block)",
+                    "P(drop)",
+                    "Handoff fail",
+                    "Avg BU",
+                    "Reps",
+                ],
+                rows,
+                title=f"{curve.label} — multi-cell QoS vs offered load",
+            )
+        )
+    first = result.curves[0]
+    if len(first.points) >= 2:
+        sections.append(
+            ascii_line_plot(
+                first.arrival_rates(),
+                {curve.label: curve.dropping_series() for curve in result.curves},
+                height=14,
+                y_label="dropping probability of admitted calls",
+                x_label="arrival rate (calls/s/cell)",
+                title="Dropping probability vs offered load",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,62 @@
+"""Control-surface renderings of FLC1 and FLC2 (tensorized grid inference).
+
+The decision behaviour of the two controllers is easiest to see as a
+surface: Cv over the (speed, angle) plane for FLC1, A/R over the
+(correction value, counter state) plane for FLC2.  Whole grids are
+evaluated in one pass through the compiled engines' ``infer_batch``
+tensors — the per-point results are bit-identical to scalar ``infer``.
+"""
+
+from __future__ import annotations
+
+from ..analysis.plotting import ascii_heatmap
+from ..cac.facs.flc1 import FLC1
+from ..cac.facs.flc2 import FLC2
+
+__all__ = ["render_flc1_surface", "render_flc2_surface"]
+
+
+def render_flc1_surface(
+    distance_km: float = 3.0,
+    resolution: int = 31,
+    engine: str = "compiled",
+) -> str:
+    """Cv over the (speed, angle) plane at a fixed user-to-BS distance."""
+    flc1 = FLC1(engine=engine)
+    xs, ys, surface = flc1.controller.engine.control_surface(
+        "S", "A", "Cv", fixed={"D": distance_km}, resolution=resolution
+    )
+    return ascii_heatmap(
+        [float(x) for x in xs],
+        [float(y) for y in ys],
+        surface.tolist(),
+        title=(
+            f"FLC1 correction value Cv — speed (x, km/h) vs angle (y, deg) "
+            f"at D={distance_km:g} km"
+        ),
+        x_label="speed (km/h)",
+        y_label="angle (deg)",
+    )
+
+
+def render_flc2_surface(
+    request_bu: float = 5.0,
+    resolution: int = 31,
+    engine: str = "compiled",
+) -> str:
+    """A/R over the (Cv, counter state) plane at a fixed bandwidth request."""
+    flc2 = FLC2(engine=engine)
+    xs, ys, surface = flc2.controller.engine.control_surface(
+        "Cv", "Cs", "AR", fixed={"R": request_bu}, resolution=resolution
+    )
+    return ascii_heatmap(
+        [float(x) for x in xs],
+        [float(y) for y in ys],
+        surface.tolist(),
+        title=(
+            f"FLC2 accept/reject score A/R — correction value (x) vs counter "
+            f"state (y, BU) at R={request_bu:g} BU"
+        ),
+        x_label="Cv",
+        y_label="Cs (BU)",
+    )

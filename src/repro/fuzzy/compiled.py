@@ -36,14 +36,20 @@ quantized) input tuple.  With ``cache_quantization=None`` the keys are exact
 and cached results are indistinguishable from recomputation; with a
 quantization step the cache trades exactness for hit rate.
 
-The engine reuses an internal degree buffer across calls and is therefore
-not thread-safe; use one engine per worker (processes each get their own).
+The engine is safe to share between threads: the scalar hot path keeps its
+scratch degree buffer in thread-local storage and the LRU cache takes a lock
+around its bookkeeping.  With exact cache keys the cached value equals
+recomputation bit for bit, so results stay deterministic under the
+thread-pool sweep executor; a *quantized* cache is the one knob that trades
+that determinism away (whichever representative lands in the bucket first
+wins), with or without threads.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 import numpy as np
@@ -54,7 +60,13 @@ from .defuzzification import (
     DefuzzificationError,
     Defuzzifier,
 )
-from .inference import ImplicationMethod, InferenceResult, MamdaniEngine, RuleActivation
+from .inference import (
+    BatchInference,
+    ImplicationMethod,
+    InferenceResult,
+    MamdaniEngine,
+    RuleActivation,
+)
 from .membership import Trapezoidal, Triangular
 from .operators import MAXIMUM, MINIMUM, SNorm, TNorm
 from .rules import RuleBase, _is_pure_conjunction, _propositions
@@ -210,6 +222,7 @@ class CompiledMamdaniEngine(MamdaniEngine):
         self._cache: OrderedDict[tuple, CrispInference] | None = (
             OrderedDict() if cache_size > 0 else None
         )
+        self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
         self._compile()
@@ -240,9 +253,24 @@ class CompiledMamdaniEngine(MamdaniEngine):
             low, high = variable.universe
             fuzzify_plan.append((name, low, high, offset, evaluators))
         self._fuzzify_plan = fuzzify_plan
+        # Array membership callables per variable, for the batched fuzzifier
+        # (the scalar plan's closures replicate exactly these array paths).
+        self._batch_fuzzify_plan = [
+            (
+                name,
+                low,
+                high,
+                offset,
+                [term.membership for term in rule_base.input_variables[name]],
+            )
+            for name, low, high, offset, _ in fuzzify_plan
+        ]
         self._identity_slot = n_slots
-        self._degree_buffer = np.empty(n_slots + 1, dtype=float)
-        self._degree_buffer[self._identity_slot] = 1.0
+        self._n_degree_slots = n_slots + 1
+        # The scalar hot path reuses a scratch buffer; keeping it in
+        # thread-local storage makes a shared engine safe under the
+        # thread-pool sweep executor.
+        self._degree_local = threading.local()
 
         rows: list[list[int]] = []
         for rule in rule_base:
@@ -305,23 +333,35 @@ class CompiledMamdaniEngine(MamdaniEngine):
     @property
     def cache_info(self) -> CacheInfo:
         """Current statistics of the crisp-inference LRU cache."""
-        return CacheInfo(
-            hits=self._cache_hits,
-            misses=self._cache_misses,
-            size=len(self._cache) if self._cache is not None else 0,
-            max_size=self._cache_size,
-        )
+        with self._cache_lock:
+            return CacheInfo(
+                hits=self._cache_hits,
+                misses=self._cache_misses,
+                size=len(self._cache) if self._cache is not None else 0,
+                max_size=self._cache_size,
+            )
 
     def clear_cache(self) -> None:
         """Drop every memoised inference and reset the hit/miss counters."""
-        if self._cache is not None:
-            self._cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
+        with self._cache_lock:
+            if self._cache is not None:
+                self._cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
 
     # ------------------------------------------------------------------
     # Hot path
     # ------------------------------------------------------------------
+    @property
+    def _degree_buffer(self) -> np.ndarray:
+        """Per-thread scratch buffer for the scalar fuzzifier."""
+        buffer = getattr(self._degree_local, "buffer", None)
+        if buffer is None:
+            buffer = np.empty(self._n_degree_slots, dtype=float)
+            buffer[self._identity_slot] = 1.0
+            self._degree_local.buffer = buffer
+        return buffer
+
     def _fill_degrees(self, inputs: Mapping[str, float]) -> np.ndarray:
         buffer = self._degree_buffer
         try:
@@ -426,11 +466,12 @@ class CompiledMamdaniEngine(MamdaniEngine):
         cache = self._cache
         if cache is not None:
             key = self._cache_key(inputs)
-            hit = cache.get(key)
-            if hit is not None:
-                cache.move_to_end(key)
-                self._cache_hits += 1
-                return hit
+            with self._cache_lock:
+                hit = cache.get(key)
+                if hit is not None:
+                    cache.move_to_end(key)
+                    self._cache_hits += 1
+                    return hit
         buffer = self._fill_degrees(inputs)
         strengths = self._firing_strengths(buffer)
         outputs: dict[str, float] = {}
@@ -446,10 +487,11 @@ class CompiledMamdaniEngine(MamdaniEngine):
             dominant_label=self._rule_base[dominant].label,
         )
         if cache is not None:
-            self._cache_misses += 1
-            cache[key] = result
-            if len(cache) > self._cache_size:
-                cache.popitem(last=False)
+            with self._cache_lock:
+                self._cache_misses += 1
+                cache[key] = result
+                if len(cache) > self._cache_size:
+                    cache.popitem(last=False)
         return result
 
     def infer(self, inputs: Mapping[str, float]) -> InferenceResult:
@@ -480,4 +522,146 @@ class CompiledMamdaniEngine(MamdaniEngine):
             fuzzified_inputs=degrees,
             activations=activations,
             aggregated=aggregated,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched hot path
+    # ------------------------------------------------------------------
+    #: Upper bound on elements of the (rows, entries, grid) implication
+    #: tensor materialised per block; rows are independent, so chunking
+    #: changes peak memory but not a single bit of the results.
+    _BATCH_BLOCK_ELEMENTS = 8_000_000
+
+    def _fill_degrees_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Fuzzify a whole ``(N, n_vars)`` matrix into ``(N, n_slots + 1)``.
+
+        Uses the membership functions' array evaluation — the very path the
+        scalar fast-path closures replicate branch for branch — so each row
+        equals :meth:`_fill_degrees` on that row bit for bit.
+        """
+        degrees = np.empty((matrix.shape[0], self._n_degree_slots))
+        degrees[:, self._identity_slot] = 1.0
+        for k, (name, low, high, offset, memberships) in enumerate(
+            self._batch_fuzzify_plan
+        ):
+            values = np.clip(matrix[:, k], low, high)
+            for j, membership in enumerate(memberships):
+                degrees[:, offset + j] = np.clip(membership.evaluate(values), 0.0, 1.0)
+        return degrees
+
+    def _firing_strengths_batch(self, degrees: np.ndarray) -> np.ndarray:
+        """All rules' firing strengths for all rows: ``(N, n_rules)``."""
+        picked = degrees[:, self._antecedent_index]
+        strengths = picked[:, :, 0]
+        tnorm = self._tnorm
+        for column in range(1, self._antecedent_width):
+            strengths = np.asarray(tnorm(strengths, picked[:, :, column]))
+        if not self._trivial_weights:
+            strengths = self._weights * strengths
+        return strengths
+
+    def _aggregate_output_batch(
+        self,
+        strengths: np.ndarray,
+        entry_rules: np.ndarray,
+        tensor: np.ndarray,
+        var_name: str,
+        row_offset: int = 0,
+    ) -> np.ndarray:
+        """Aggregated output surfaces for all rows: ``(N, resolution)``.
+
+        Rows where no entry fired would defuzzify garbage, so they raise just
+        like the scalar path (``row_offset`` maps a block-local row back to
+        its index in the caller's full batch).  Non-fired entries contribute
+        an all-zero clipped surface, the identity of every s-norm, so folding
+        over *all* entries equals the scalar path's fold over the fired
+        subset.
+        """
+        entry_strengths = strengths[:, entry_rules]
+        fired_any = (entry_strengths > 0.0).any(axis=1)
+        if not fired_any.all():
+            row = row_offset + int(np.flatnonzero(~fired_any)[0])
+            raise DefuzzificationError(
+                f"no rule fired for output variable {var_name!r} at batch row "
+                f"{row}; the rule base does not cover this input region"
+            )
+        if self._implication == ImplicationMethod.CLIP:
+            clipped = np.minimum(tensor[None, :, :], entry_strengths[:, :, None])
+        else:
+            clipped = tensor[None, :, :] * entry_strengths[:, :, None]
+        if self._snorm is MAXIMUM:
+            return clipped.max(axis=1)
+        aggregated = np.zeros((clipped.shape[0], clipped.shape[2]))
+        snorm = self._snorm
+        for entry in range(clipped.shape[1]):
+            aggregated = np.asarray(snorm(aggregated, clipped[:, entry, :]))
+        return aggregated
+
+    def _defuzzify_fast_batch(
+        self, var_name: str, variable: LinguisticVariable, surfaces: np.ndarray
+    ) -> np.ndarray:
+        """Row-wise :meth:`_defuzzify_fast` over ``(N, resolution)`` surfaces."""
+        if self._fast_centroid:
+            grid = variable.grid
+            spacing = self._grid_diffs[var_name]
+            areas = (spacing * (surfaces[:, 1:] + surfaces[:, :-1]) / 2.0).sum(axis=1)
+            if np.any(areas <= _EPS):  # pragma: no cover - unreachable
+                raise DefuzzificationError("zero area under membership surface")
+            moments = surfaces * grid
+            return (spacing * (moments[:, 1:] + moments[:, :-1]) / 2.0).sum(
+                axis=1
+            ) / areas
+        return np.array(
+            [self._defuzzifier(variable.grid, row) for row in surfaces]
+        )
+
+    def _infer_batch_block(
+        self, matrix: np.ndarray, row_offset: int = 0
+    ) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        degrees = self._fill_degrees_batch(matrix)
+        strengths = self._firing_strengths_batch(degrees)
+        outputs: dict[str, np.ndarray] = {}
+        for var_name, (entry_rules, tensor, variable) in self._consequent_plans.items():
+            aggregated = self._aggregate_output_batch(
+                strengths, entry_rules, tensor, var_name, row_offset=row_offset
+            )
+            outputs[var_name] = self._defuzzify_fast_batch(
+                var_name, variable, aggregated
+            )
+        return outputs, np.argmax(strengths, axis=1)
+
+    def infer_batch(
+        self, inputs: np.ndarray | Mapping[str, np.ndarray]
+    ) -> BatchInference:
+        """Tensorized batch inference, bit-identical to per-row :meth:`infer`.
+
+        The whole batch flows through the compiled antecedent/consequent
+        tensors in a handful of vectorized passes; processing happens in
+        blocks bounding peak memory, which cannot change results because rows
+        are mutually independent.
+        """
+        matrix = self._batch_matrix(inputs)
+        count = matrix.shape[0]
+        max_entries = max(
+            (plan[1].shape[0] * plan[1].shape[1] for plan in self._consequent_plans.values()),
+            default=1,
+        )
+        block = max(1, self._BATCH_BLOCK_ELEMENTS // max(max_entries, 1))
+        if count <= block:
+            outputs, dominant = self._infer_batch_block(matrix)
+            return BatchInference(outputs=outputs, dominant_indices=dominant)
+        output_blocks: list[dict[str, np.ndarray]] = []
+        dominant_blocks: list[np.ndarray] = []
+        for start in range(0, count, block):
+            outputs, dominant = self._infer_batch_block(
+                matrix[start : start + block], row_offset=start
+            )
+            output_blocks.append(outputs)
+            dominant_blocks.append(dominant)
+        merged = {
+            name: np.concatenate([chunk[name] for chunk in output_blocks])
+            for name in self._rule_base.output_variables
+        }
+        return BatchInference(
+            outputs=merged, dominant_indices=np.concatenate(dominant_blocks)
         )

@@ -214,6 +214,23 @@ class FuzzyController:
         """Evaluate a batch of crisp input mappings (single-output controllers)."""
         return [self.compute(**dict(sample)) for sample in samples]
 
+    def compute_batch(self, **inputs: np.ndarray) -> np.ndarray:
+        """Crisp output vector for named ``(N,)`` input vectors.
+
+        The batched counterpart of :meth:`compute`: with a compiled engine
+        the whole batch flows through the tensorized
+        :meth:`~repro.fuzzy.inference.MamdaniEngine.infer_batch` path and the
+        returned values are bit-identical to calling :meth:`compute` per row.
+        """
+        outputs = self.output_names
+        if len(outputs) != 1:
+            raise ValueError(
+                f"controller {self._name!r} has {len(outputs)} outputs; "
+                "use engine.infer_batch() and index its outputs instead"
+            )
+        arrays = {name: np.asarray(values, dtype=float) for name, values in inputs.items()}
+        return self._engine.infer_batch(arrays).outputs[outputs[0]]
+
     def rule_table(self) -> list[dict[str, str]]:
         """Render the rule base as a list of ``{column: value}`` rows.
 

@@ -17,7 +17,7 @@ fuzzifier, inference engine, fuzzy rule base and defuzzifier — into a single
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
@@ -25,12 +25,12 @@ import numpy as np
 from .defuzzification import DEFAULT_DEFUZZIFIER, DefuzzificationError, Defuzzifier
 from .operators import MAXIMUM, MINIMUM, PRODUCT, SNorm, TNorm
 from .rules import FuzzyRule, RuleBase
-from .variables import LinguisticVariable
 
 __all__ = [
     "ImplicationMethod",
     "RuleActivation",
     "InferenceResult",
+    "BatchInference",
     "MamdaniEngine",
     "SugenoEngine",
 ]
@@ -76,6 +76,26 @@ class InferenceResult:
     def dominant_rule(self) -> RuleActivation:
         """The activation with the highest firing strength."""
         return max(self.activations, key=lambda a: a.firing_strength)
+
+
+@dataclass(frozen=True)
+class BatchInference:
+    """Outcome of a batched inference over ``N`` crisp input rows.
+
+    ``outputs`` maps every output variable to its ``(N,)`` vector of crisp
+    values; ``dominant_indices`` holds the index of the strongest-firing rule
+    per row.  Row ``i`` is exactly what ``infer`` would produce for the
+    ``i``-th input row — the batch is a layout change, not an approximation.
+    """
+
+    outputs: Mapping[str, np.ndarray]
+    dominant_indices: np.ndarray
+
+    def __getitem__(self, variable: str) -> np.ndarray:
+        return self.outputs[variable]
+
+    def __len__(self) -> int:
+        return int(self.dominant_indices.shape[0])
 
 
 class MamdaniEngine:
@@ -126,6 +146,15 @@ class MamdaniEngine:
     @property
     def rule_base(self) -> RuleBase:
         return self._rule_base
+
+    @property
+    def input_order(self) -> list[str]:
+        """Column order expected by :meth:`infer_batch` matrices.
+
+        This is the rule base's declared input-variable order (not sorted),
+        so matrices and scalar mappings address the same variables.
+        """
+        return list(self._rule_base.input_variables)
 
     @property
     def defuzzifier(self) -> Defuzzifier:
@@ -210,6 +239,67 @@ class MamdaniEngine:
         result = self.infer(inputs)
         return np.asarray(result.aggregated[output])
 
+    def _batch_matrix(
+        self, inputs: np.ndarray | Mapping[str, np.ndarray]
+    ) -> np.ndarray:
+        """Coerce batch inputs to an ``(N, n_vars)`` float matrix.
+
+        Accepts either a matrix whose columns follow :attr:`input_order` or a
+        mapping of variable name to ``(N,)`` value vectors.
+        """
+        order = self.input_order
+        if isinstance(inputs, Mapping):
+            missing = set(order) - set(inputs)
+            if missing:
+                raise ValueError(
+                    f"missing crisp inputs for variables: {sorted(missing)}"
+                )
+            columns = [np.asarray(inputs[name], dtype=float) for name in order]
+            lengths = {column.shape for column in columns}
+            if len(lengths) > 1 or any(column.ndim != 1 for column in columns):
+                raise ValueError(
+                    f"batch input vectors must be 1-D and equally sized, "
+                    f"got shapes {[column.shape for column in columns]}"
+                )
+            return np.column_stack(columns)
+        matrix = np.asarray(inputs, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(order):
+            raise ValueError(
+                f"batch input matrix must have shape (N, {len(order)}) with "
+                f"columns {order}, got {matrix.shape}"
+            )
+        return matrix
+
+    def infer_batch(
+        self, inputs: np.ndarray | Mapping[str, np.ndarray]
+    ) -> BatchInference:
+        """Infer crisp outputs for a whole batch of input rows.
+
+        ``inputs`` is an ``(N, n_vars)`` matrix whose columns follow
+        :attr:`input_order` (or a mapping of variable name to value vectors).
+        The reference implementation simply loops :meth:`infer` per row;
+        :class:`~repro.fuzzy.compiled.CompiledMamdaniEngine` overrides it
+        with a tensorized evaluation that produces bit-identical numbers.
+        """
+        matrix = self._batch_matrix(inputs)
+        order = self.input_order
+        count = matrix.shape[0]
+        outputs = {
+            name: np.empty(count) for name in self._rule_base.output_variables
+        }
+        dominant = np.empty(count, dtype=np.intp)
+        for i in range(count):
+            row = {name: float(matrix[i, k]) for k, name in enumerate(order)}
+            result = self.infer(row)
+            for name in outputs:
+                outputs[name][i] = result.outputs[name]
+            activations = result.activations
+            dominant[i] = max(
+                range(len(activations)),
+                key=lambda index: activations[index].firing_strength,
+            )
+        return BatchInference(outputs=outputs, dominant_indices=dominant)
+
     def control_surface(
         self,
         x_variable: str,
@@ -222,6 +312,9 @@ class MamdaniEngine:
 
         Useful for visualising/regression-testing the FLC1 and FLC2 decision
         surfaces; all other input variables must be pinned via ``fixed``.
+        The whole grid is evaluated through :meth:`infer_batch`, so the
+        compiled engine computes it in a handful of tensor passes instead of
+        ``resolution**2`` scalar inferences.
         """
         fixed = dict(fixed or {})
         input_vars = self._rule_base.input_variables
@@ -235,11 +328,20 @@ class MamdaniEngine:
             )
         xs = np.linspace(*input_vars[x_variable].universe, resolution)
         ys = np.linspace(*input_vars[y_variable].universe, resolution)
-        surface = np.zeros((resolution, resolution))
-        for i, y in enumerate(ys):
-            for j, x in enumerate(xs):
-                inputs = {**fixed, x_variable: float(x), y_variable: float(y)}
-                surface[i, j] = self.infer(inputs)[output]
+        # Row-major grid: x varies fastest, matching the historical
+        # (for y: for x:) nesting point for point.
+        columns = {
+            x_variable: np.tile(xs, resolution),
+            y_variable: np.repeat(ys, resolution),
+        }
+        matrix = np.empty((resolution * resolution, len(input_vars)))
+        for k, name in enumerate(self.input_order):
+            if name in columns:
+                matrix[:, k] = columns[name]
+            else:
+                matrix[:, k] = float(fixed[name])
+        batch = self.infer_batch(matrix)
+        surface = batch.outputs[output].reshape(resolution, resolution)
         return xs, ys, surface
 
 

@@ -12,7 +12,7 @@ rule structures are supported even though FRB1/FRB2 only use conjunctions.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from .hedges import Hedge

@@ -8,7 +8,7 @@ paper defines ``T(S)``, ``T(A)``, ``T(D)`` and so on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 import numpy as np

@@ -15,7 +15,7 @@ authors' event-driven simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 from ..cac.base import AdmissionController
 from ..cellular.calls import Call, CallType

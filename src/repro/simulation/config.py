@@ -91,6 +91,7 @@ class NetworkExperimentConfig:
     mobility_update_s: float = 10.0
     mean_speed_kmh: float = 40.0
     seed: int = 20070626
+    replication: int = 0
 
     def __post_init__(self) -> None:
         if self.rings < 0:
@@ -112,3 +113,31 @@ class NetworkExperimentConfig:
             )
         if self.mean_speed_kmh < 0:
             raise ValueError(f"mean_speed_kmh must be non-negative, got {self.mean_speed_kmh}")
+        if self.replication < 0:
+            raise ValueError(f"replication must be non-negative, got {self.replication}")
+
+    @property
+    def stream_master_seed(self) -> int:
+        """Master seed of this replication's random streams.
+
+        Mirrors :attr:`BatchExperimentConfig.stream_master_seed`: the seed is
+        a pure function of ``(seed, replication)``, so any worker process or
+        thread reproduces exactly the same streams regardless of execution
+        order, and ``replication == 0`` reproduces the historical single-run
+        behaviour bit for bit.
+        """
+        return self.seed + 1_000_003 * self.replication
+
+    def with_arrival_rate(self, arrival_rate_per_cell_per_s: float) -> "NetworkExperimentConfig":
+        """Copy of this config with a different per-cell arrival rate."""
+        return replace(
+            self, arrival_rate_per_cell_per_s=arrival_rate_per_cell_per_s
+        )
+
+    def with_seed(self, seed: int, replication: int = 0) -> "NetworkExperimentConfig":
+        """Copy of this config with a different seed/replication index."""
+        return replace(self, seed=seed, replication=replication)
+
+    def with_duration(self, duration_s: float) -> "NetworkExperimentConfig":
+        """Copy of this config with a different simulated duration."""
+        return replace(self, duration_s=duration_s)

@@ -10,14 +10,15 @@ controller.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
 from typing import Callable
 
 from ..cac.base import AdmissionController
-from ..cellular.calls import Call, CallState, CallType
+from ..cellular.calls import Call, CallType
 from ..cellular.cell import Cell
-from ..cellular.geometry import Point, heading_between, relative_angle
+from ..cellular.geometry import Point
 from ..cellular.metrics import CallMetrics, MetricsCollector
 from ..cellular.mobility import GaussMarkovModel, MobileTerminal, UserState
 from ..cellular.network import CellularNetwork
@@ -54,7 +55,11 @@ class NetworkSimulation:
 
     def __init__(self, config: NetworkExperimentConfig, controller_factory: ControllerFactory):
         self._config = config
-        self._streams = StreamFactory(master_seed=config.seed)
+        self._streams = StreamFactory(master_seed=config.stream_master_seed)
+        # Per-run sequential ids (not the process-global counter), so run
+        # outputs are a pure function of the config in any process, thread
+        # or execution order — the same discipline as the batch experiment.
+        self._call_ids = itertools.count(1)
         self._env = Environment()
         self._network = CellularNetwork(
             rings=config.rings,
@@ -164,6 +169,7 @@ class NetworkSimulation:
             user_state=self._observe(terminal, target),
             requested_at=self._env.now,
             holding_time_s=call.holding_time_s,
+            call_id=next(self._call_ids),
         )
         self._metrics.record_request(handoff_request)
         decision = controller.decide(handoff_request, target.base_station, self._env.now)
@@ -205,6 +211,7 @@ class NetworkSimulation:
                 user_state=self._observe(terminal, cell),
                 requested_at=self._env.now,
                 holding_time_s=holding_rng.exponential(spec.mean_holding_time_s),
+                call_id=next(self._call_ids),
             )
             controller = self._controllers[cell.cell_id]
             self._metrics.record_request(call)

@@ -10,12 +10,16 @@ fan the replications out without caring how they are scheduled:
 * :class:`SerialExecutor` runs tasks in order in the calling process (the
   reference backend, and the default);
 * :class:`ProcessPoolSweepExecutor` distributes tasks over a
-  ``concurrent.futures.ProcessPoolExecutor``.
+  ``concurrent.futures.ProcessPoolExecutor``;
+* :class:`ThreadPoolSweepExecutor` distributes tasks over a thread pool —
+  no pickling and no worker start-up cost, worthwhile now that the compiled
+  inference hot path spends its time in NumPy.
 
-Both backends preserve task order in their results, and because every task
+All backends preserve task order in their results, and because every task
 carries its full seeded configuration, the assembled sweep is *identical*
 regardless of backend, worker count or scheduling order — a property locked
-down by ``tests/simulation/test_parallel_executor.py``.
+down by ``tests/simulation/test_parallel_executor.py`` and
+``tests/simulation/test_network_sweep.py``.
 
 Parallel tasks must be picklable; the controller factories in
 :mod:`repro.simulation.scenario` are dataclass callables for exactly this
@@ -28,13 +32,14 @@ from __future__ import annotations
 import os
 import pickle
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 __all__ = [
     "SweepExecutor",
     "SerialExecutor",
     "ProcessPoolSweepExecutor",
+    "ThreadPoolSweepExecutor",
     "SweepExecutionError",
     "executor_by_name",
     "EXECUTOR_CHOICES",
@@ -44,7 +49,7 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 #: Names accepted by :func:`executor_by_name` (and the CLI ``--executor`` flag).
-EXECUTOR_CHOICES = ("serial", "process")
+EXECUTOR_CHOICES = ("serial", "process", "thread")
 
 
 class SweepExecutionError(RuntimeError):
@@ -122,17 +127,57 @@ class ProcessPoolSweepExecutor(SweepExecutor):
             raise SweepExecutionError(f"{self._PICKLE_HINT} ({exc})") from exc
 
 
+class ThreadPoolSweepExecutor(SweepExecutor):
+    """Fan tasks out over a pool of threads in the calling process.
+
+    The discrete-event loops are pure Python and serialise on the GIL, but
+    the compiled inference engines spend their time inside NumPy kernels
+    that release it, so threads overlap usefully on the now NumPy-bound hot
+    path — with none of the pickling constraints or worker start-up cost of
+    the process pool.  Tasks must therefore be thread-safe: the engines
+    keep their scratch state in thread-local storage, and every replication
+    builds its own controllers, streams and DES environment.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker threads; ``None`` uses ``os.cpu_count()``.  The
+        pool never starts more threads than there are tasks.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be at least 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadPoolSweepExecutor(max_workers={self.max_workers})"
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = min(workers, len(tasks))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, tasks))
+
+
 def executor_by_name(name: str, workers: int | None = None) -> SweepExecutor:
     """Build an executor from its registered name.
 
     ``"serial"`` ignores ``workers``; ``"process"`` (alias ``"parallel"``)
-    forwards it as the pool size.
+    and ``"thread"`` forward it as the pool size.
     """
     key = name.strip().lower()
     if key == "serial":
         return SerialExecutor()
     if key in ("process", "parallel"):
         return ProcessPoolSweepExecutor(max_workers=workers)
+    if key in ("thread", "threads"):
+        return ThreadPoolSweepExecutor(max_workers=workers)
     raise ValueError(
         f"unknown executor {name!r}; available: {sorted(EXECUTOR_CHOICES)}"
     )

@@ -4,11 +4,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..cellular.metrics import CallMetrics
 
-__all__ = ["RunResult", "AggregatedResult", "aggregate_runs"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from .engine import NetworkRunOutput
+
+__all__ = [
+    "RunResult",
+    "AggregatedResult",
+    "aggregate_runs",
+    "NetworkAggregatedResult",
+    "aggregate_network_runs",
+]
 
 
 @dataclass(frozen=True)
@@ -79,4 +88,59 @@ def aggregate_runs(runs: Sequence[RunResult]) -> AggregatedResult:
         std_acceptance_percentage=math.sqrt(variance),
         mean_blocking_probability=sum(blocking) / len(blocking),
         mean_dropping_probability=sum(dropping) / len(dropping),
+    )
+
+
+@dataclass(frozen=True)
+class NetworkAggregatedResult:
+    """Mean QoS metrics of a multi-cell scenario over its replications.
+
+    The network experiment measures more than acceptance: handoff attempts
+    and failures, dropped ongoing calls and the time-average occupancy all
+    enter the paper's QoS comparison, so they are aggregated alongside the
+    blocking/acceptance means of :class:`AggregatedResult`.
+    """
+
+    controller: str
+    parameters: Mapping[str, float]
+    replications: int
+    mean_acceptance_percentage: float
+    std_acceptance_percentage: float
+    mean_blocking_probability: float
+    mean_dropping_probability: float
+    mean_handoff_failure_ratio: float
+    mean_handoff_attempts: float
+    mean_occupancy_bu: float
+
+
+def aggregate_network_runs(
+    outputs: Sequence["NetworkRunOutput"],
+) -> NetworkAggregatedResult:
+    """Aggregate replications of the same multi-cell scenario."""
+    if not outputs:
+        raise ValueError("cannot aggregate an empty list of network runs")
+    runs = [output.result for output in outputs]
+    controllers = {run.controller for run in runs}
+    if len(controllers) != 1:
+        raise ValueError(f"runs mix controllers: {sorted(controllers)}")
+    acceptance = [run.acceptance_percentage for run in runs]
+    mean_acc = sum(acceptance) / len(acceptance)
+    if len(acceptance) > 1:
+        variance = sum((a - mean_acc) ** 2 for a in acceptance) / (len(acceptance) - 1)
+    else:
+        variance = 0.0
+    count = len(outputs)
+    return NetworkAggregatedResult(
+        controller=runs[0].controller,
+        parameters=dict(runs[0].parameters),
+        replications=count,
+        mean_acceptance_percentage=mean_acc,
+        std_acceptance_percentage=math.sqrt(variance),
+        mean_blocking_probability=sum(r.blocking_probability for r in runs) / count,
+        mean_dropping_probability=sum(r.dropping_probability for r in runs) / count,
+        mean_handoff_failure_ratio=(
+            sum(o.handoff_failure_ratio for o in outputs) / count
+        ),
+        mean_handoff_attempts=sum(o.handoff_attempts for o in outputs) / count,
+        mean_occupancy_bu=sum(o.time_average_occupancy_bu for o in outputs) / count,
     )

@@ -19,13 +19,20 @@ backend and worker count.
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from .batch import ControllerFactory, run_batch_experiment
-from .config import BatchExperimentConfig, PAPER_REQUEST_COUNTS
+from .config import BatchExperimentConfig, NetworkExperimentConfig, PAPER_REQUEST_COUNTS
+from .engine import NetworkRunOutput, run_network_experiment
 from .executor import SerialExecutor, SweepExecutor, executor_by_name
-from .results import AggregatedResult, RunResult, aggregate_runs
+from .results import (
+    AggregatedResult,
+    NetworkAggregatedResult,
+    RunResult,
+    aggregate_network_runs,
+    aggregate_runs,
+)
 
 __all__ = [
     "SweepPoint",
@@ -33,7 +40,18 @@ __all__ = [
     "SweepResult",
     "ReplicationTask",
     "run_acceptance_sweep",
+    "NetworkSweepSpec",
+    "NetworkReplicationTask",
+    "NetworkSweepPoint",
+    "NetworkSweepCurve",
+    "NetworkSweepResult",
+    "run_network_sweep",
+    "PAPER_NETWORK_ARRIVAL_RATES",
 ]
+
+#: Default per-cell arrival rates (calls/s) of the network sweep: spans the
+#: lightly loaded regime through saturation of the 7-cell topology.
+PAPER_NETWORK_ARRIVAL_RATES: tuple[float, ...] = (0.01, 0.02, 0.03, 0.04, 0.05)
 
 
 @dataclass(frozen=True)
@@ -219,3 +237,211 @@ def run_acceptance_sweep(
             SweepCurve(label=label, controller=controller_name, points=tuple(points))
         )
     return SweepResult(name=name, curves=tuple(curves))
+
+
+# ----------------------------------------------------------------------
+# Multi-cell network sweeps
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NetworkSweepSpec:
+    """Declarative description of a multi-cell network sweep.
+
+    One curve per controller, one point per per-cell arrival rate, each
+    point averaged over ``replications`` independent runs of the full
+    mobility/handoff simulation.  Every ``(controller, rate, replication)``
+    combination is an independent task, so the sweep parallelises over the
+    same :class:`~repro.simulation.executor.SweepExecutor` backends as the
+    single-cell figures.
+    """
+
+    name: str
+    controllers: Mapping[str, ControllerFactory]
+    arrival_rates: Sequence[float] = PAPER_NETWORK_ARRIVAL_RATES
+    replications: int = 5
+    base_config: NetworkExperimentConfig = field(
+        default_factory=NetworkExperimentConfig
+    )
+
+    def __post_init__(self) -> None:
+        if not self.controllers:
+            raise ValueError("at least one controller is required")
+        if not self.arrival_rates:
+            raise ValueError("at least one arrival rate is required")
+        if any(rate <= 0 for rate in self.arrival_rates):
+            raise ValueError(f"arrival rates must be positive, got {self.arrival_rates}")
+        if self.replications < 1:
+            raise ValueError(f"replications must be >= 1, got {self.replications}")
+
+    def tasks(self) -> list["NetworkReplicationTask"]:
+        """Flatten the sweep into its independent, fully seeded tasks."""
+        tasks: list[NetworkReplicationTask] = []
+        for label, controller_factory in self.controllers.items():
+            for rate in self.arrival_rates:
+                for replication in range(self.replications):
+                    config = self.base_config.with_arrival_rate(rate).with_seed(
+                        self.base_config.seed, replication=replication
+                    )
+                    tasks.append(
+                        NetworkReplicationTask(
+                            label=label,
+                            arrival_rate_per_cell_per_s=rate,
+                            replication=replication,
+                            config=config,
+                            controller_factory=controller_factory,
+                        )
+                    )
+        return tasks
+
+
+@dataclass(frozen=True)
+class NetworkReplicationTask:
+    """One fully seeded replication of one network sweep point.
+
+    Self-contained and picklable (given a picklable controller factory), so
+    it can be executed in any process or thread in any order.
+    """
+
+    label: str
+    arrival_rate_per_cell_per_s: float
+    replication: int
+    config: NetworkExperimentConfig
+    controller_factory: ControllerFactory
+
+
+def _execute_network_replication(task: NetworkReplicationTask) -> NetworkRunOutput:
+    """Run one network replication; module-level so process pools can pickle it."""
+    return run_network_experiment(task.config, task.controller_factory)
+
+
+@dataclass(frozen=True)
+class NetworkSweepPoint:
+    """One point of a network sweep curve: QoS means at one arrival rate."""
+
+    arrival_rate_per_cell_per_s: float
+    acceptance_percentage: float
+    std_percentage: float
+    blocking_probability: float
+    dropping_probability: float
+    handoff_failure_ratio: float
+    mean_occupancy_bu: float
+    replications: int
+
+
+@dataclass(frozen=True)
+class NetworkSweepCurve:
+    """One controller's curve across the arrival-rate axis."""
+
+    label: str
+    controller: str
+    points: tuple[NetworkSweepPoint, ...]
+
+    def __post_init__(self) -> None:
+        # Intern the strings so equal-valued results serialise to identical
+        # bytes whether the runs executed in-process or in a worker pool
+        # (see SweepCurve).
+        object.__setattr__(self, "label", sys.intern(self.label))
+        object.__setattr__(self, "controller", sys.intern(self.controller))
+        index: dict[float, NetworkSweepPoint] = {}
+        for point in self.points:
+            index.setdefault(point.arrival_rate_per_cell_per_s, point)
+        object.__setattr__(self, "_point_index", index)
+
+    def arrival_rates(self) -> list[float]:
+        return [point.arrival_rate_per_cell_per_s for point in self.points]
+
+    def acceptance_series(self) -> list[float]:
+        return [point.acceptance_percentage for point in self.points]
+
+    def blocking_series(self) -> list[float]:
+        return [point.blocking_probability for point in self.points]
+
+    def dropping_series(self) -> list[float]:
+        return [point.dropping_probability for point in self.points]
+
+    def handoff_failure_series(self) -> list[float]:
+        return [point.handoff_failure_ratio for point in self.points]
+
+    def point_at(self, arrival_rate_per_cell_per_s: float) -> NetworkSweepPoint:
+        try:
+            return self._point_index[arrival_rate_per_cell_per_s]
+        except KeyError:
+            raise KeyError(
+                f"curve {self.label!r} has no point at arrival rate "
+                f"{arrival_rate_per_cell_per_s}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class NetworkSweepResult:
+    """A family of per-controller QoS curves over the arrival-rate axis."""
+
+    name: str
+    curves: tuple[NetworkSweepCurve, ...]
+
+    def __post_init__(self) -> None:
+        index: dict[str, NetworkSweepCurve] = {}
+        for curve in self.curves:
+            index.setdefault(curve.label, curve)
+        object.__setattr__(self, "_curve_index", index)
+
+    def curve(self, label: str) -> NetworkSweepCurve:
+        try:
+            return self._curve_index[label]
+        except KeyError:
+            raise KeyError(
+                f"network sweep {self.name!r} has no curve {label!r}; "
+                f"available: {[c.label for c in self.curves]}"
+            ) from None
+
+    def labels(self) -> list[str]:
+        return [curve.label for curve in self.curves]
+
+
+def run_network_sweep(
+    spec: NetworkSweepSpec,
+    executor: SweepExecutor | str | None = None,
+) -> NetworkSweepResult:
+    """Run the multi-cell QoS sweep described by ``spec``.
+
+    Every ``(controller, arrival rate, replication)`` combination becomes an
+    independent task whose randomness derives solely from its own seeded
+    config, and the results are reassembled in task order — so the returned
+    :class:`NetworkSweepResult` is byte-identical for every backend
+    (serial, process pool or thread pool) and worker count.
+    """
+    backend = _resolve_executor(executor)
+    tasks = spec.tasks()
+    outputs = backend.map(_execute_network_replication, tasks)
+    if len(outputs) != len(tasks):  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"executor {backend.name!r} returned {len(outputs)} results "
+            f"for {len(tasks)} tasks"
+        )
+
+    cursor = iter(outputs)
+    curves: list[NetworkSweepCurve] = []
+    for label in spec.controllers:
+        points: list[NetworkSweepPoint] = []
+        controller_name = ""
+        for rate in spec.arrival_rates:
+            runs = [next(cursor) for _ in range(spec.replications)]
+            aggregated: NetworkAggregatedResult = aggregate_network_runs(runs)
+            controller_name = aggregated.controller
+            points.append(
+                NetworkSweepPoint(
+                    arrival_rate_per_cell_per_s=rate,
+                    acceptance_percentage=aggregated.mean_acceptance_percentage,
+                    std_percentage=aggregated.std_acceptance_percentage,
+                    blocking_probability=aggregated.mean_blocking_probability,
+                    dropping_probability=aggregated.mean_dropping_probability,
+                    handoff_failure_ratio=aggregated.mean_handoff_failure_ratio,
+                    mean_occupancy_bu=aggregated.mean_occupancy_bu,
+                    replications=aggregated.replications,
+                )
+            )
+        curves.append(
+            NetworkSweepCurve(
+                label=label, controller=controller_name, points=tuple(points)
+            )
+        )
+    return NetworkSweepResult(name=spec.name, curves=tuple(curves))

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -129,7 +127,12 @@ class TestPlots:
 
 def _sweep() -> SweepResult:
     points = tuple(
-        SweepPoint(request_count=n, acceptance_percentage=100.0 - n / 2, std_percentage=1.0, replications=3)
+        SweepPoint(
+            request_count=n,
+            acceptance_percentage=100.0 - n / 2,
+            std_percentage=1.0,
+            replications=3,
+        )
         for n in (10, 50, 100)
     )
     return SweepResult(
@@ -168,7 +171,8 @@ class TestCsvRoundtrip:
     def test_read_empty_csv_rejected(self, tmp_path):
         empty = tmp_path / "empty.csv"
         empty.write_text(
-            "sweep,curve,controller,request_count,acceptance_percentage,std_percentage,replications\n"
+            "sweep,curve,controller,request_count,acceptance_percentage,"
+            "std_percentage,replications\n"
         )
         with pytest.raises(ValueError):
             read_sweep_csv(empty)

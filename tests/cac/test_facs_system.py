@@ -7,8 +7,7 @@ import pytest
 from repro.cac.base import AdmissionDecision, DecisionOutcome
 from repro.cac.counters import ServiceCounters
 from repro.cac.facs.system import FACSConfig, FuzzyAdmissionControlSystem
-from repro.cellular.calls import Call, CallType
-from repro.cellular.cell import BaseStation
+from repro.cellular.calls import Call
 from repro.cellular.mobility import UserState
 from repro.cellular.traffic import ServiceClass
 from tests.conftest import make_call
@@ -200,3 +199,73 @@ class TestFACSAcceptanceTrends:
         assert self._acceptance_fraction(facs, station, toward) > self._acceptance_fraction(
             facs, station, away
         )
+
+
+class TestBatchAdmission:
+    def _candidates(self, count: int = 60) -> list[Call]:
+        import numpy as np
+
+        rng = np.random.default_rng(20250722)
+        calls = []
+        services = (ServiceClass.TEXT, ServiceClass.VOICE, ServiceClass.VIDEO)
+        for i in range(count):
+            if i % 13 == 0:
+                # Fixed terminal: no GPS observation.
+                calls.append(make_call(services[i % 3]))
+                calls[-1].user_state = None
+                continue
+            calls.append(
+                make_call(
+                    services[i % 3],
+                    speed=float(rng.uniform(0.0, 130.0)),
+                    angle=float(rng.uniform(-180.0, 180.0)),
+                    distance=float(rng.uniform(0.0, 12.0)),
+                )
+            )
+        return calls
+
+    def test_decide_batch_matches_sequential_decide(self, facs, station):
+        calls = self._candidates()
+        station.allocate(make_call(ServiceClass.VIDEO, bandwidth=30))
+        batch = facs.decide_batch(calls, station, now=0.0)
+        assert len(batch) == len(calls)
+        for i, call in enumerate(calls):
+            decision = facs.decide(call, station, 0.0)
+            assert batch.scores[i] == decision.score
+            assert bool(batch.accepted[i]) == decision.accepted
+            assert (
+                batch.correction_values[i]
+                == decision.diagnostics["correction_value"]
+            )
+        assert batch.counter_state_bu == float(station.used_bu)
+
+    def test_decide_batch_does_not_mutate_state(self, facs, station):
+        calls = self._candidates(20)
+        used_before = station.used_bu
+        counters_before = (facs.counters.real_time_bu, facs.counters.non_real_time_bu)
+        facs.decide_batch(calls, station, now=0.0)
+        assert station.used_bu == used_before
+        assert (
+            facs.counters.real_time_bu,
+            facs.counters.non_real_time_bu,
+        ) == counters_before
+
+    def test_missing_observations_get_neutral_correction(self, facs):
+        values = facs.correction_values([None, None])
+        assert list(values) == [0.5, 0.5]
+
+    def test_correction_values_match_scalar_path(self, facs):
+        users = [
+            UserState(speed_kmh=30.0, angle_deg=10.0, distance_km=2.0),
+            None,
+            UserState(speed_kmh=90.0, angle_deg=80.0, distance_km=9.0),
+        ]
+        values = facs.correction_values(users)
+        for user, value in zip(users, values):
+            assert value == facs.correction_value(user)
+
+    def test_batch_respects_bandwidth_fit(self, facs, station):
+        station.allocate(make_call(ServiceClass.VIDEO, bandwidth=39))
+        video = make_call(ServiceClass.VIDEO, speed=60.0, angle=0.0, distance=1.0)
+        batch = facs.decide_batch([video], station, now=0.0)
+        assert not bool(batch.accepted[0])

@@ -13,7 +13,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cac.base import DecisionOutcome
 from repro.cac.facs.config import FLC1Config, FLC2Config
-from repro.cac.facs.flc1 import FLC1
 from repro.cac.facs.flc2 import FLC2
 from repro.cellular.mobility import UserState
 
@@ -59,7 +58,8 @@ class TestFLC1Behaviour:
 
     def test_correction_decreases_with_angle(self, flc1):
         """Fig. 8's driver: larger angles mean worse predicted trajectories."""
-        values = [flc1.correction_value(30.0, angle, 3.0) for angle in (0.0, 30.0, 50.0, 60.0, 90.0)]
+        angles = (0.0, 30.0, 50.0, 60.0, 90.0)
+        values = [flc1.correction_value(30.0, angle, 3.0) for angle in angles]
         assert all(earlier >= later for earlier, later in zip(values, values[1:]))
 
     def test_angle_symmetry(self, flc1):

@@ -14,7 +14,6 @@ from repro.cac.scc.projection import ProjectionConfig, expected_exit_time_s, pro
 from repro.cac.scc.system import SCCConfig, ShadowClusterController
 from repro.cac.threshold_policy import ThresholdPolicyConfig, ThresholdPolicyController
 from repro.cellular.calls import Call, CallType
-from repro.cellular.cell import BaseStation
 from repro.cellular.mobility import UserState
 from repro.cellular.traffic import ServiceClass
 from tests.conftest import make_call

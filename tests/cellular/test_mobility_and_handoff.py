@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -161,7 +159,11 @@ class TestMobilityModels:
         with pytest.raises(ValueError):
             GaussMarkovModel(update_interval_s=0.0)
 
-    @given(speed=st.floats(1.0, 120.0), heading=st.floats(-179.0, 179.0), hours=st.floats(0.01, 1.0))
+    @given(
+        speed=st.floats(1.0, 120.0),
+        heading=st.floats(-179.0, 179.0),
+        hours=st.floats(0.01, 1.0),
+    )
     @settings(max_examples=50)
     def test_constant_velocity_distance_property(self, speed, heading, hours):
         terminal = MobileTerminal(Point(0.0, 0.0), speed, heading)

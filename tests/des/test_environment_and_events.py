@@ -7,10 +7,7 @@ import pytest
 from repro.des import (
     Environment,
     Event,
-    EventState,
-    Interruption,
     SimulationError,
-    Timeout,
 )
 from repro.des.queue import EmptyQueueError, EventQueue, Priority
 

@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
-import math
 import statistics
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.des import Counter, Environment, MonitorRegistry, RandomStream, StreamFactory, Tally, TimeWeightedValue
+from repro.des import (
+    Counter,
+    Environment,
+    MonitorRegistry,
+    RandomStream,
+    StreamFactory,
+    Tally,
+    TimeWeightedValue,
+)
 
 
 class TestCounter:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.des import Container, Environment, Interruption, PriorityResource, Resource
+from repro.des import Container, Interruption, PriorityResource, Resource
 
 
 class TestProcesses:

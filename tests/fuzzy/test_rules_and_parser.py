@@ -25,7 +25,8 @@ def temp_var(name: str, terms: list[str]) -> LinguisticVariable:
     built = []
     for index, term in enumerate(terms):
         center = index * step
-        built.append(Term(term, Triangular(max(center - step, 0.0), center, min(center + step, 1.0))))
+        shape = Triangular(max(center - step, 0.0), center, min(center + step, 1.0))
+        built.append(Term(term, shape))
     return LinguisticVariable(name, (0.0, 1.0), built, resolution=101)
 
 

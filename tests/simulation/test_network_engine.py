@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cac.complete_sharing import CompleteSharingController
 from repro.simulation.config import NetworkExperimentConfig
 from repro.simulation.engine import NetworkSimulation, run_network_experiment

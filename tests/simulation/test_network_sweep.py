@@ -1,0 +1,240 @@
+"""Determinism and behaviour of the multi-cell network sweep.
+
+The headline guarantee mirrors the single-cell sweep's: ``run_network_sweep``
+produces *byte-identical* results for the serial backend, process pools and
+thread pools of any size, because every replication derives its randomness
+from its own seeded config (``stream_master_seed``) and uses per-run call
+ids, and the results are reassembled in task order.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cac.complete_sharing import CompleteSharingController
+from repro.simulation.config import NetworkExperimentConfig
+from repro.simulation.engine import run_network_experiment
+from repro.simulation.executor import (
+    EXECUTOR_CHOICES,
+    ProcessPoolSweepExecutor,
+    SerialExecutor,
+    ThreadPoolSweepExecutor,
+    executor_by_name,
+)
+from repro.simulation.results import aggregate_network_runs
+from repro.simulation.scenario import facs_factory, scc_factory
+from repro.simulation.sweep import (
+    NetworkReplicationTask,
+    NetworkSweepSpec,
+    run_network_sweep,
+)
+
+
+SMALL_CONFIG = NetworkExperimentConfig(
+    rings=1,
+    cell_radius_km=1.2,
+    arrival_rate_per_cell_per_s=0.02,
+    duration_s=200.0,
+    mean_speed_kmh=60.0,
+    seed=20250721,
+)
+
+
+def _mini_spec() -> NetworkSweepSpec:
+    return NetworkSweepSpec(
+        name="determinism",
+        controllers={"FACS": facs_factory(), "SCC": scc_factory()},
+        arrival_rates=(0.02, 0.05),
+        replications=2,
+        base_config=SMALL_CONFIG,
+    )
+
+
+class TestNetworkConfigReplication:
+    def test_replication_zero_preserves_seed(self):
+        assert SMALL_CONFIG.stream_master_seed == SMALL_CONFIG.seed
+
+    def test_replications_derive_distinct_seeds(self):
+        seeds = {
+            SMALL_CONFIG.with_seed(SMALL_CONFIG.seed, replication=r).stream_master_seed
+            for r in range(10)
+        }
+        assert len(seeds) == 10
+
+    def test_with_arrival_rate_and_duration(self):
+        changed = SMALL_CONFIG.with_arrival_rate(0.09).with_duration(42.0)
+        assert changed.arrival_rate_per_cell_per_s == 0.09
+        assert changed.duration_s == 42.0
+        assert changed.seed == SMALL_CONFIG.seed
+
+    def test_negative_replication_rejected(self):
+        with pytest.raises(ValueError, match="replication"):
+            NetworkExperimentConfig(replication=-1)
+
+    def test_rerun_is_byte_identical(self):
+        first = run_network_experiment(SMALL_CONFIG, CompleteSharingController)
+        second = run_network_experiment(SMALL_CONFIG, CompleteSharingController)
+        assert pickle.dumps(first) == pickle.dumps(second)
+
+
+class TestSpecValidation:
+    def test_requires_controllers(self):
+        with pytest.raises(ValueError, match="controller"):
+            NetworkSweepSpec(name="x", controllers={}, arrival_rates=(0.02,))
+
+    def test_requires_rates(self):
+        with pytest.raises(ValueError, match="arrival rate"):
+            NetworkSweepSpec(
+                name="x", controllers={"FACS": facs_factory()}, arrival_rates=()
+            )
+
+    def test_rejects_non_positive_rates(self):
+        with pytest.raises(ValueError, match="positive"):
+            NetworkSweepSpec(
+                name="x",
+                controllers={"FACS": facs_factory()},
+                arrival_rates=(0.02, 0.0),
+            )
+
+    def test_rejects_zero_replications(self):
+        with pytest.raises(ValueError, match="replications"):
+            NetworkSweepSpec(
+                name="x",
+                controllers={"FACS": facs_factory()},
+                arrival_rates=(0.02,),
+                replications=0,
+            )
+
+    def test_tasks_flatten_in_declared_order(self):
+        spec = _mini_spec()
+        tasks = spec.tasks()
+        assert len(tasks) == 2 * 2 * 2
+        assert all(isinstance(task, NetworkReplicationTask) for task in tasks)
+        assert [t.label for t in tasks[:4]] == ["FACS"] * 4
+        assert [t.arrival_rate_per_cell_per_s for t in tasks[:4]] == [
+            0.02,
+            0.02,
+            0.05,
+            0.05,
+        ]
+        assert [t.replication for t in tasks[:4]] == [0, 1, 0, 1]
+        # Each task's config carries its own rate and replication seed.
+        assert tasks[2].config.arrival_rate_per_cell_per_s == 0.05
+        assert tasks[1].config.stream_master_seed != tasks[0].config.stream_master_seed
+
+    def test_tasks_are_picklable(self):
+        task = _mini_spec().tasks()[0]
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.label == task.label
+        assert clone.config.seed == task.config.seed
+        assert clone.config.stream_master_seed == task.config.stream_master_seed
+        assert (
+            clone.config.arrival_rate_per_cell_per_s
+            == task.config.arrival_rate_per_cell_per_s
+        )
+
+
+class TestNetworkSweepDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_sweep(self):
+        return run_network_sweep(_mini_spec(), executor=SerialExecutor())
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_process_pool_matches_serial_byte_for_byte(self, serial_sweep, workers):
+        parallel = run_network_sweep(
+            _mini_spec(), executor=ProcessPoolSweepExecutor(max_workers=workers)
+        )
+        assert parallel == serial_sweep
+        assert pickle.dumps(parallel) == pickle.dumps(serial_sweep)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_thread_pool_matches_serial_byte_for_byte(self, serial_sweep, workers):
+        threaded = run_network_sweep(
+            _mini_spec(), executor=ThreadPoolSweepExecutor(max_workers=workers)
+        )
+        assert threaded == serial_sweep
+        assert pickle.dumps(threaded) == pickle.dumps(serial_sweep)
+
+    def test_default_executor_is_serial(self, serial_sweep):
+        assert pickle.dumps(run_network_sweep(_mini_spec())) == pickle.dumps(
+            serial_sweep
+        )
+
+    def test_executor_accepted_by_name(self, serial_sweep):
+        named = run_network_sweep(_mini_spec(), executor="thread")
+        assert pickle.dumps(named) == pickle.dumps(serial_sweep)
+
+    def test_result_shape_and_lookups(self, serial_sweep):
+        assert serial_sweep.labels() == ["FACS", "SCC"]
+        curve = serial_sweep.curve("FACS")
+        assert curve.controller == "FACS"
+        assert curve.arrival_rates() == [0.02, 0.05]
+        point = curve.point_at(0.05)
+        assert point.replications == 2
+        assert 0.0 <= point.acceptance_percentage <= 100.0
+        assert 0.0 <= point.dropping_probability <= 1.0
+        assert 0.0 <= point.handoff_failure_ratio <= 1.0
+        assert len(curve.acceptance_series()) == 2
+        assert len(curve.blocking_series()) == 2
+        assert len(curve.dropping_series()) == 2
+        assert len(curve.handoff_failure_series()) == 2
+
+    def test_unknown_lookups_raise(self, serial_sweep):
+        with pytest.raises(KeyError, match="no curve"):
+            serial_sweep.curve("GuardChannel")
+        with pytest.raises(KeyError, match="no point"):
+            serial_sweep.curve("FACS").point_at(0.123)
+
+    def test_offered_load_increases_occupancy(self, serial_sweep):
+        curve = serial_sweep.curve("FACS")
+        assert (
+            curve.point_at(0.05).mean_occupancy_bu
+            > curve.point_at(0.02).mean_occupancy_bu
+        )
+
+
+class TestThreadExecutor:
+    def test_registry_resolves_thread_names(self):
+        assert isinstance(executor_by_name("thread"), ThreadPoolSweepExecutor)
+        assert isinstance(executor_by_name("threads"), ThreadPoolSweepExecutor)
+        assert "thread" in EXECUTOR_CHOICES
+
+    def test_workers_forwarded(self):
+        assert executor_by_name("thread", workers=3).max_workers == 3
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadPoolSweepExecutor(max_workers=0)
+
+    def test_map_preserves_order(self):
+        executor = ThreadPoolSweepExecutor(max_workers=4)
+        assert executor.map(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
+
+    def test_map_empty_tasks(self):
+        assert ThreadPoolSweepExecutor(max_workers=2).map(print, []) == []
+
+
+class TestAggregateNetworkRuns:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            aggregate_network_runs([])
+
+    def test_rejects_mixed_controllers(self):
+        facs = run_network_experiment(SMALL_CONFIG, facs_factory())
+        cs = run_network_experiment(SMALL_CONFIG, CompleteSharingController)
+        with pytest.raises(ValueError, match="mix"):
+            aggregate_network_runs([facs, cs])
+
+    def test_single_run_aggregate(self):
+        output = run_network_experiment(SMALL_CONFIG, CompleteSharingController)
+        aggregated = aggregate_network_runs([output])
+        assert aggregated.replications == 1
+        assert aggregated.std_acceptance_percentage == 0.0
+        assert (
+            aggregated.mean_acceptance_percentage
+            == output.result.acceptance_percentage
+        )
+        assert aggregated.mean_handoff_attempts == output.handoff_attempts
+        assert aggregated.mean_occupancy_bu == output.time_average_occupancy_bu

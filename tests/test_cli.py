@@ -116,3 +116,95 @@ class TestCommands:
         assert main(base + ["--executor", "process", "--workers", "2"]) == 0
         parallel_output = capsys.readouterr().out
         assert parallel_output == serial_output
+
+
+class TestNetworkSweepCommand:
+    def test_defaults_parse(self):
+        args = build_parser().parse_args(["network-sweep"])
+        assert args.rates == [0.01, 0.02, 0.03, 0.04, 0.05]
+        assert args.replications == 3
+        assert args.executor == "serial"
+        assert args.engine == "compiled"
+        assert args.controllers == ["FACS", "SCC", "CS"]
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "network-sweep",
+                "--rates",
+                "0.02",
+                "0.04",
+                "--replications",
+                "2",
+                "--duration",
+                "300",
+                "--controllers",
+                "FACS",
+                "CS",
+                "--executor",
+                "thread",
+                "--workers",
+                "2",
+            ]
+        )
+        assert args.rates == [0.02, 0.04]
+        assert args.controllers == ["FACS", "CS"]
+        assert args.executor == "thread"
+        assert args.workers == 2
+
+    def test_unknown_controller_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["network-sweep", "--controllers", "Oracle"])
+
+    def test_workers_without_pool_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["network-sweep", "--workers", "4"])
+
+    def test_small_sweep_runs(self, capsys):
+        code = main(
+            [
+                "network-sweep",
+                "--rates",
+                "0.02",
+                "0.04",
+                "--replications",
+                "1",
+                "--duration",
+                "150",
+                "--controllers",
+                "FACS",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "FACS — multi-cell QoS vs offered load" in output
+        assert "Dropping probability vs offered load" in output
+
+    def test_thread_executor_matches_serial(self, capsys):
+        base = [
+            "network-sweep",
+            "--rates",
+            "0.03",
+            "--replications",
+            "1",
+            "--duration",
+            "150",
+            "--controllers",
+            "FACS",
+            "SCC",
+        ]
+        assert main(base) == 0
+        serial_output = capsys.readouterr().out
+        assert main(base + ["--executor", "thread", "--workers", "2"]) == 0
+        threaded_output = capsys.readouterr().out
+        assert threaded_output == serial_output
+
+    def test_run_net_sweep_experiment_id(self, capsys):
+        assert main(["run", "net-sweep", "--replications", "1"]) == 0
+        assert "multi-cell QoS" in capsys.readouterr().out
+
+    def test_run_surface_experiments(self, capsys):
+        assert main(["run", "surface-flc1"]) == 0
+        assert "FLC1 correction value" in capsys.readouterr().out
+        assert main(["run", "surface-flc2"]) == 0
+        assert "FLC2 accept/reject score" in capsys.readouterr().out
