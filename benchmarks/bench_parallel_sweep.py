@@ -28,9 +28,7 @@ PARALLEL_WORKERS = 4
 
 
 def test_fig10_parallel_compiled_speedup(benchmark):
-    kwargs = dict(
-        request_counts=FIG10_REQUEST_COUNTS, replications=BENCH_REPLICATIONS
-    )
+    kwargs = dict(request_counts=FIG10_REQUEST_COUNTS, replications=BENCH_REPLICATIONS)
 
     start = time.perf_counter()
     reference_sweep = reproduce_figure10(
@@ -51,9 +49,7 @@ def test_fig10_parallel_compiled_speedup(benchmark):
     # Equivalence 1: compiled curves match the reference engine's to 1e-9.
     for reference_curve, fast_curve in zip(reference_sweep.curves, fast_sweep.curves):
         assert reference_curve.label == fast_curve.label
-        for reference_point, fast_point in zip(
-            reference_curve.points, fast_curve.points
-        ):
+        for reference_point, fast_point in zip(reference_curve.points, fast_curve.points):
             assert (
                 abs(
                     reference_point.acceptance_percentage

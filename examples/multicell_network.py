@@ -7,19 +7,24 @@ controllers (FACS, SCC, Complete Sharing) and compares blocking, dropping and
 handoff failure.  This is the experiment behind the paper's claim that FACS
 protects the QoS of ongoing calls.
 
+The whole experiment is one declarative ``NetworkIntegrationScenario`` run
+through the ``Runner`` facade: the returned ``RunReport`` carries the
+rendered table, the per-controller numbers, and persists to ``results/`` as
+a single self-describing JSON document.  (The imperative path —
+``repro.simulation.run_network_experiment`` per controller — still works;
+see the git history of this file.)
+
 Run with:  python examples/multicell_network.py
 """
 
 from __future__ import annotations
 
-from repro.analysis import format_table
-from repro.cac import CompleteSharingController
-from repro.simulation import NetworkExperimentConfig, run_network_experiment
-from repro.simulation.scenario import facs_factory, scc_factory
+from repro.api import NetworkIntegrationScenario, Runner
 
 
 def main() -> None:
-    config = NetworkExperimentConfig(
+    scenario = NetworkIntegrationScenario(
+        controllers=("FACS", "SCC", "CS"),
         rings=1,
         cell_radius_km=1.5,
         arrival_rate_per_cell_per_s=0.03,
@@ -27,52 +32,24 @@ def main() -> None:
         mean_speed_kmh=60.0,
         seed=20070614,
     )
-    controllers = {
-        "FACS": facs_factory(),
-        "SCC": scc_factory(),
-        "CS": CompleteSharingController,
-    }
+    report = Runner().run(scenario)
+    print(report.text)
 
-    rows = []
-    for label, factory in controllers.items():
-        output = run_network_experiment(config, factory)
-        metrics = output.result.metrics
-        rows.append(
-            [
-                label,
-                metrics.requested,
-                f"{metrics.acceptance_percentage:.1f}%",
-                f"{metrics.blocking_probability:.3f}",
-                f"{metrics.dropping_probability:.3f}",
-                output.handoff_attempts,
-                f"{output.handoff_failure_ratio:.3f}",
-                f"{output.time_average_occupancy_bu:.1f}",
-            ]
-        )
-
+    # The machine-readable half of the report: one metrics dict per
+    # controller, ready for plotting or regression checks.
+    facs = report.metrics["controllers"]["FACS"]
+    cs = report.metrics["controllers"]["CS"]
     print(
-        format_table(
-            [
-                "Controller",
-                "Requests",
-                "Accepted",
-                "P(block)",
-                "P(drop)",
-                "Handoffs",
-                "Handoff fail",
-                "Avg BU in use",
-            ],
-            rows,
-            title=(
-                f"7-cell network, {config.duration_s:.0f}s of Poisson arrivals, "
-                f"Gauss-Markov mobility"
-            ),
-        )
+        f"\nFACS drops {facs['dropping_probability']:.3f} of admitted calls "
+        f"vs {cs['dropping_probability']:.3f} under Complete Sharing."
     )
     print(
-        "\nComplete Sharing admits the most calls but pays for it with dropped handoffs;\n"
+        "Complete Sharing admits the most calls but pays for it with dropped handoffs;\n"
         "FACS and SCC hold back some new calls to keep ongoing calls alive."
     )
+
+    saved = report.save("results")
+    print(f"\nReport (scenario + metrics + table) saved to {saved}")
 
 
 if __name__ == "__main__":

@@ -1,23 +1,29 @@
 #!/usr/bin/env python3
 """Quickstart: make admission decisions with the paper's FACS controller.
 
-Builds the two fuzzy controllers of the paper (FLC1 + FLC2), feeds them a few
-hand-picked connection requests against a 40-BU base station, and prints the
-correction value, the soft accept/reject score and the binding decision for
-each — the smallest possible end-to-end use of the library.
+Builds the paper's FACS controller through the ``repro.api`` registry (the
+same string key a scenario JSON would use), feeds it a few hand-picked
+connection requests against a 40-BU base station, and prints the correction
+value, the soft accept/reject score and the binding decision for each — the
+smallest possible end-to-end use of the library.  The closing lines show
+the declarative side of the same API: every paper experiment is a
+serializable ``Scenario`` run through the ``Runner`` facade.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import FuzzyAdmissionControlSystem
 from repro.analysis import format_table
+from repro.api import controller_factory, scenario_for
 from repro.cellular import BaseStation, Call, ServiceClass, UserState
 
 
 def main() -> None:
-    facs = FuzzyAdmissionControlSystem()
+    # controller_factory resolves the registered name into a factory of
+    # fresh controller instances; FuzzyAdmissionControlSystem() directly
+    # still works, but the registry key is what scenario JSON files use.
+    facs = controller_factory("FACS")()
     station = BaseStation()  # 40 bandwidth units, as in the paper
 
     # Pre-load the cell with a few ongoing calls so the counter state matters.
@@ -71,6 +77,12 @@ def main() -> None:
         )
     )
     print("\nRTC/NRTC counters:", facs.counters)
+
+    # Every paper experiment is also a declarative scenario; this JSON is
+    # all `Runner().run(Scenario.from_json(...))` needs to reproduce Fig. 10
+    # (equivalently: `python -m repro run --config fig10.json`).
+    print("\nFig. 10 as a serializable scenario:")
+    print(scenario_for("fig10-facs-vs-scc").to_json())
 
 
 if __name__ == "__main__":

@@ -24,7 +24,11 @@ Package layout
 ``repro.experiments``
     One entry point per paper table/figure plus ablations.
 ``repro.analysis``
-    Statistics, ASCII tables/plots, CSV export.
+    Statistics, ASCII tables/plots, CSV/JSON export.
+``repro.api``
+    The canonical entry point: declarative, serializable ``Scenario``
+    objects, string-keyed registries (controllers, engines, executors,
+    scenarios) and the ``Runner`` facade returning ``RunReport`` objects.
 """
 
 from .cac import (
@@ -48,6 +52,7 @@ from .cellular import (
     UserProfile,
     UserState,
 )
+from .api import Runner, RunReport, Scenario
 from .fuzzy import FuzzyController, LinguisticVariable, Term, Triangular, Trapezoidal
 from .simulation import (
     BatchExperimentConfig,
@@ -61,6 +66,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # unified scenario API
+    "Runner",
+    "RunReport",
+    "Scenario",
     # admission control
     "AdmissionController",
     "AdmissionDecision",

@@ -1,9 +1,19 @@
-"""Reporting utilities: statistics, ASCII tables/plots and CSV export."""
+"""Reporting utilities: statistics, ASCII tables/plots, CSV and JSON export."""
 
 from .stats import SummaryStatistics, paired_difference, summarize, t_confidence_interval
 from .tables import format_curve_table, format_table
 from .plotting import ascii_heatmap, ascii_line_plot, ascii_membership_plot
-from .io import read_sweep_csv, sweep_to_rows, write_sweep_csv
+from .io import (
+    network_sweep_result_from_dict,
+    network_sweep_result_to_dict,
+    read_result_json,
+    read_sweep_csv,
+    sweep_result_from_dict,
+    sweep_result_to_dict,
+    sweep_to_rows,
+    write_result_json,
+    write_sweep_csv,
+)
 
 __all__ = [
     "SummaryStatistics",
@@ -18,4 +28,10 @@ __all__ = [
     "sweep_to_rows",
     "write_sweep_csv",
     "read_sweep_csv",
+    "sweep_result_to_dict",
+    "sweep_result_from_dict",
+    "network_sweep_result_to_dict",
+    "network_sweep_result_from_dict",
+    "write_result_json",
+    "read_result_json",
 ]

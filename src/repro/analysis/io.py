@@ -1,13 +1,41 @@
-"""CSV export/import of sweep results."""
+"""CSV and JSON export/import of sweep results.
+
+The CSV functions are the historical flat export of the acceptance sweeps.
+The ``*_to_dict``/``*_from_dict`` pairs are the lossless JSON codecs the
+unified scenario API (:mod:`repro.api`) uses for the machine-readable
+``metrics`` half of every :class:`~repro.api.RunReport`.
+"""
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 
-from ..simulation.sweep import SweepCurve, SweepPoint, SweepResult
+from ..simulation.sweep import (
+    NetworkSweepCurve,
+    NetworkSweepPoint,
+    NetworkSweepResult,
+    SweepCurve,
+    SweepPoint,
+    SweepResult,
+)
 
-__all__ = ["sweep_to_rows", "write_sweep_csv", "read_sweep_csv"]
+__all__ = [
+    "sweep_to_rows",
+    "write_sweep_csv",
+    "read_sweep_csv",
+    "sweep_result_to_dict",
+    "sweep_result_from_dict",
+    "network_sweep_result_to_dict",
+    "network_sweep_result_from_dict",
+    "write_result_json",
+    "read_result_json",
+]
+
+#: ``type`` discriminators stamped into the JSON payloads.
+_SWEEP_TYPE = "acceptance-sweep"
+_NETWORK_SWEEP_TYPE = "network-sweep"
 
 _FIELDNAMES = (
     "sweep",
@@ -88,3 +116,145 @@ def read_sweep_csv(path: str | Path) -> SweepResult:
             for label, entry in curves.items()
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# JSON codecs (lossless, used by repro.api for RunReport metrics)
+# ----------------------------------------------------------------------
+def sweep_result_to_dict(sweep: SweepResult) -> dict:
+    """Lossless dict form of an acceptance :class:`SweepResult`."""
+    return {
+        "type": _SWEEP_TYPE,
+        "name": sweep.name,
+        "curves": [
+            {
+                "label": curve.label,
+                "controller": curve.controller,
+                "points": [
+                    {
+                        "request_count": point.request_count,
+                        "acceptance_percentage": point.acceptance_percentage,
+                        "std_percentage": point.std_percentage,
+                        "replications": point.replications,
+                    }
+                    for point in curve.points
+                ],
+            }
+            for curve in sweep.curves
+        ],
+    }
+
+
+def sweep_result_from_dict(payload: dict) -> SweepResult:
+    """Rebuild a :class:`SweepResult` written by :func:`sweep_result_to_dict`."""
+    if payload.get("type") != _SWEEP_TYPE:
+        raise ValueError(
+            f"expected a {_SWEEP_TYPE!r} payload, got type={payload.get('type')!r}"
+        )
+    return SweepResult(
+        name=payload["name"],
+        curves=tuple(
+            SweepCurve(
+                label=curve["label"],
+                controller=curve["controller"],
+                points=tuple(
+                    SweepPoint(
+                        request_count=int(point["request_count"]),
+                        acceptance_percentage=float(point["acceptance_percentage"]),
+                        std_percentage=float(point["std_percentage"]),
+                        replications=int(point["replications"]),
+                    )
+                    for point in curve["points"]
+                ),
+            )
+            for curve in payload["curves"]
+        ),
+    )
+
+
+def network_sweep_result_to_dict(result: NetworkSweepResult) -> dict:
+    """Lossless dict form of a multi-cell :class:`NetworkSweepResult`."""
+    return {
+        "type": _NETWORK_SWEEP_TYPE,
+        "name": result.name,
+        "curves": [
+            {
+                "label": curve.label,
+                "controller": curve.controller,
+                "points": [
+                    {
+                        "arrival_rate_per_cell_per_s": point.arrival_rate_per_cell_per_s,
+                        "acceptance_percentage": point.acceptance_percentage,
+                        "std_percentage": point.std_percentage,
+                        "blocking_probability": point.blocking_probability,
+                        "dropping_probability": point.dropping_probability,
+                        "handoff_failure_ratio": point.handoff_failure_ratio,
+                        "mean_occupancy_bu": point.mean_occupancy_bu,
+                        "replications": point.replications,
+                    }
+                    for point in curve.points
+                ],
+            }
+            for curve in result.curves
+        ],
+    }
+
+
+def network_sweep_result_from_dict(payload: dict) -> NetworkSweepResult:
+    """Rebuild a result written by :func:`network_sweep_result_to_dict`."""
+    if payload.get("type") != _NETWORK_SWEEP_TYPE:
+        raise ValueError(
+            f"expected a {_NETWORK_SWEEP_TYPE!r} payload, got type={payload.get('type')!r}"
+        )
+    return NetworkSweepResult(
+        name=payload["name"],
+        curves=tuple(
+            NetworkSweepCurve(
+                label=curve["label"],
+                controller=curve["controller"],
+                points=tuple(
+                    NetworkSweepPoint(
+                        arrival_rate_per_cell_per_s=float(
+                            point["arrival_rate_per_cell_per_s"]
+                        ),
+                        acceptance_percentage=float(point["acceptance_percentage"]),
+                        std_percentage=float(point["std_percentage"]),
+                        blocking_probability=float(point["blocking_probability"]),
+                        dropping_probability=float(point["dropping_probability"]),
+                        handoff_failure_ratio=float(point["handoff_failure_ratio"]),
+                        mean_occupancy_bu=float(point["mean_occupancy_bu"]),
+                        replications=int(point["replications"]),
+                    )
+                    for point in curve["points"]
+                ),
+            )
+            for curve in payload["curves"]
+        ),
+    )
+
+
+def write_result_json(result: SweepResult | NetworkSweepResult, path: str | Path) -> Path:
+    """Write a sweep result (either family) to a JSON file."""
+    if isinstance(result, NetworkSweepResult):
+        payload = network_sweep_result_to_dict(result)
+    elif isinstance(result, SweepResult):
+        payload = sweep_result_to_dict(result)
+    else:
+        raise TypeError(
+            f"expected SweepResult or NetworkSweepResult, got {type(result).__name__}"
+        )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target
+
+
+def read_result_json(path: str | Path) -> SweepResult | NetworkSweepResult:
+    """Read a result previously written by :func:`write_result_json`."""
+    payload = json.loads(Path(path).read_text())
+    kind = payload.get("type")
+    if kind == _SWEEP_TYPE:
+        return sweep_result_from_dict(payload)
+    if kind == _NETWORK_SWEEP_TYPE:
+        return network_sweep_result_from_dict(payload)
+    raise ValueError(f"unknown result payload type {kind!r} in {path}")

@@ -1,0 +1,106 @@
+"""repro.api — the canonical entry point for running experiments.
+
+Every experiment in this repository is a *data object*: a
+:class:`Scenario` describing workload, topology, controllers, engine,
+executor, seeds and replications, with a lossless
+``to_dict``/``from_dict``/JSON round-trip.  The :class:`Runner` facade
+turns any scenario into a :class:`RunReport` carrying both the rendered
+ASCII artifact and machine-readable metrics, persistable as a single JSON
+document.  The CLI (``python -m repro``) is a thin shell over this module.
+
+Quick tour
+----------
+
+>>> from repro.api import Runner, Scenario, scenario_for
+>>> report = Runner().run(scenario_for("fig10-facs-vs-scc"))
+>>> print(report.text)                       # the paper artifact
+>>> report.metrics["curves"][0]["label"]     # machine-readable results
+'FACS'
+>>> path = report.save("results")            # scenario + metrics + text
+
+Scenarios serialize to plain JSON, so the same experiment can live in a
+config file and run headless::
+
+    python -m repro run --config scenario.json --format json --save results
+
+Extension points are string-keyed registries (see
+:mod:`repro.api.registry`): :data:`CONTROLLERS` for admission controllers,
+:data:`SCENARIOS` for experiment defaults, plus the engine and executor
+registries re-exported here.  Registering a controller makes it
+addressable from scenario JSON immediately — per-cell sharding backends
+and trace-driven workloads plug in the same way.
+"""
+
+from ..fuzzy.controller import ENGINES, EngineSpec
+from ..registry import Registry, RegistryError
+from ..simulation.executor import EXECUTORS
+from .registry import (
+    ABLATIONS,
+    ARTIFACTS,
+    BENCH_ONLY_EXPERIMENTS,
+    CONTROLLERS,
+    DEFAULT_NETWORK_CONTROLLERS,
+    FIGURES,
+    SCENARIOS,
+    SURFACES,
+    FigureDef,
+    SurfaceDef,
+    controller_factory,
+    register_controller,
+    register_scenario,
+    scenario_for,
+    scenario_ids,
+)
+from .runner import Runner, RunReport, register_runner, run
+from .scenario import (
+    SCENARIO_KINDS,
+    AblationScenario,
+    ArtifactScenario,
+    FigureSweepScenario,
+    NetworkIntegrationScenario,
+    NetworkSweepScenario,
+    Scenario,
+    ScenarioError,
+    SurfaceScenario,
+    scenario_kind,
+)
+
+__all__ = [
+    # facade
+    "Runner",
+    "RunReport",
+    "run",
+    "register_runner",
+    # scenarios
+    "Scenario",
+    "ScenarioError",
+    "ArtifactScenario",
+    "SurfaceScenario",
+    "FigureSweepScenario",
+    "NetworkSweepScenario",
+    "AblationScenario",
+    "NetworkIntegrationScenario",
+    "SCENARIO_KINDS",
+    "scenario_kind",
+    # registries
+    "Registry",
+    "RegistryError",
+    "CONTROLLERS",
+    "ENGINES",
+    "EngineSpec",
+    "EXECUTORS",
+    "FIGURES",
+    "FigureDef",
+    "ARTIFACTS",
+    "SURFACES",
+    "SurfaceDef",
+    "ABLATIONS",
+    "SCENARIOS",
+    "register_controller",
+    "register_scenario",
+    "controller_factory",
+    "scenario_for",
+    "scenario_ids",
+    "DEFAULT_NETWORK_CONTROLLERS",
+    "BENCH_ONLY_EXPERIMENTS",
+]

@@ -1,0 +1,226 @@
+"""The API-level registries: controllers, figures, artifacts, ablations, scenarios.
+
+Every name a :class:`~repro.api.scenario.Scenario` can reference — an
+admission controller, a figure sweep, a static paper artifact, a control
+surface, an ablation study or a whole experiment id — resolves through one
+of the registries below.  Together with the engine registry
+(:data:`repro.fuzzy.ENGINES`) and the executor registry
+(:data:`repro.simulation.EXECUTORS`) they replace the string literals that
+used to be duplicated across the CLI, ``FACSConfig`` and the experiment
+dispatch ladder.
+
+Registering a new controller makes it addressable from scenario JSON
+immediately:
+
+>>> from repro.api import register_controller
+>>> @register_controller("AlwaysAccept")
+... def _always_accept(engine="compiled"):
+...     return MyControllerFactory()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..cac.complete_sharing import CompleteSharingController
+from ..cac.facs.system import FACSConfig
+from ..cac.guard_channel import GuardChannelController
+from ..cac.threshold_policy import ThresholdPolicyController
+from ..experiments.ablations import (
+    baseline_ablation,
+    defuzzifier_ablation,
+    threshold_ablation,
+)
+from ..experiments.fig7_speed import render_figure7, reproduce_figure7
+from ..experiments.fig8_angle import render_figure8, reproduce_figure8
+from ..experiments.fig9_distance import render_figure9, reproduce_figure9
+from ..experiments.fig10_facs_vs_scc import render_figure10, reproduce_figure10
+from ..experiments.surfaces import (
+    flc1_surface_grid,
+    flc2_surface_grid,
+    render_flc1_grid,
+    render_flc2_grid,
+)
+from ..experiments.tables import (
+    render_flc1_memberships,
+    render_flc2_memberships,
+    render_frb1,
+    render_frb2,
+)
+from ..registry import Registry
+from ..simulation.engine import ControllerFactory
+from ..simulation.scenario import facs_factory, scc_factory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scenario import Scenario
+
+__all__ = [
+    "CONTROLLERS",
+    "FIGURES",
+    "ARTIFACTS",
+    "SURFACES",
+    "ABLATIONS",
+    "SCENARIOS",
+    "FigureDef",
+    "SurfaceDef",
+    "register_controller",
+    "register_scenario",
+    "controller_factory",
+    "scenario_for",
+    "scenario_ids",
+    "DEFAULT_NETWORK_CONTROLLERS",
+    "BENCH_ONLY_EXPERIMENTS",
+]
+
+# ----------------------------------------------------------------------
+# Controllers
+# ----------------------------------------------------------------------
+#: Builder signature: ``(engine: str) -> ControllerFactory``.  The engine
+#: selects the fuzzy inference fast path for controllers that run one
+#: (FACS); non-fuzzy controllers ignore it.
+ControllerBuilder = Callable[..., ControllerFactory]
+
+CONTROLLERS: Registry[ControllerBuilder] = Registry("controller")
+
+#: Default curve set of the multi-cell network sweep (registration order of
+#: the paper's Section 4 comparison).
+DEFAULT_NETWORK_CONTROLLERS: tuple[str, ...] = ("FACS", "SCC", "CS")
+
+
+def register_controller(name: str, *, replace: bool = False):
+    """Decorator registering a controller builder under ``name``.
+
+    The builder receives ``engine=<name>`` and must return a picklable
+    zero-argument controller factory (see
+    :mod:`repro.simulation.scenario`).
+    """
+    return CONTROLLERS.register(name, replace=replace)
+
+
+def controller_factory(name: str, engine: str = "compiled") -> ControllerFactory:
+    """Resolve a registered controller name into a fresh-instance factory."""
+    return CONTROLLERS.get(name)(engine=engine)
+
+
+@register_controller("FACS")
+def _facs_controller(engine: str = "compiled") -> ControllerFactory:
+    return facs_factory(FACSConfig(engine=engine))
+
+
+@register_controller("SCC")
+def _scc_controller(engine: str = "compiled") -> ControllerFactory:
+    return scc_factory()
+
+
+@register_controller("CS")
+def _complete_sharing_controller(engine: str = "compiled") -> ControllerFactory:
+    return CompleteSharingController
+
+
+@register_controller("GuardChannel")
+def _guard_channel_controller(engine: str = "compiled") -> ControllerFactory:
+    return GuardChannelController
+
+
+@register_controller("Threshold")
+def _threshold_controller(engine: str = "compiled") -> ControllerFactory:
+    return ThresholdPolicyController
+
+
+# ----------------------------------------------------------------------
+# Figure sweeps, static artifacts, surfaces, ablations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FigureDef:
+    """How to reproduce and render one acceptance-vs-requests figure.
+
+    A scenario seed of ``None`` simply omits the ``seed`` kwarg, so each
+    ``reproduce`` function's own default (the figure's canonical seed)
+    applies.
+    """
+
+    reproduce: Callable[..., object]
+    render: Callable[[object], str]
+    #: Keyword of ``reproduce`` holding the per-curve values (speeds,
+    #: angles, distances); ``None`` for figures with a fixed curve set.
+    curve_kwarg: str | None
+
+
+FIGURES: Registry[FigureDef] = Registry("figure")
+FIGURES.register("fig7-speed", FigureDef(reproduce_figure7, render_figure7, "speeds_kmh"))
+FIGURES.register("fig8-angle", FigureDef(reproduce_figure8, render_figure8, "angles_deg"))
+FIGURES.register(
+    "fig9-distance", FigureDef(reproduce_figure9, render_figure9, "distances_km")
+)
+FIGURES.register(
+    "fig10-facs-vs-scc", FigureDef(reproduce_figure10, render_figure10, None)
+)
+
+#: Static paper artifacts: experiment id → zero-argument renderer.
+ARTIFACTS: Registry[Callable[[], str]] = Registry("artifact")
+ARTIFACTS.register("table1-frb1", render_frb1)
+ARTIFACTS.register("table2-frb2", render_frb2)
+ARTIFACTS.register("fig5-flc1-mf", render_flc1_memberships)
+ARTIFACTS.register("fig6-flc2-mf", render_flc2_memberships)
+
+
+@dataclass(frozen=True)
+class SurfaceDef:
+    """How to compute and render one control surface.
+
+    ``render_grid`` draws a grid ``grid`` already produced, so one run
+    evaluates the surface exactly once.
+    """
+
+    grid: Callable[..., tuple[list[float], list[float], list[list[float]]]]
+    render_grid: Callable[..., str]
+    #: Keyword naming the fixed third input of the surface.
+    fixed_kwarg: str
+    default_fixed: float
+
+
+SURFACES: Registry[SurfaceDef] = Registry("surface")
+SURFACES.register(
+    "flc1", SurfaceDef(flc1_surface_grid, render_flc1_grid, "distance_km", 3.0)
+)
+SURFACES.register(
+    "flc2", SurfaceDef(flc2_surface_grid, render_flc2_grid, "request_bu", 5.0)
+)
+
+#: Ablation studies: short name → reproduce function returning a SweepResult.
+ABLATIONS: Registry[Callable[..., object]] = Registry("ablation")
+ABLATIONS.register("defuzz", defuzzifier_ablation)
+ABLATIONS.register("threshold", threshold_ablation)
+ABLATIONS.register("baselines", baseline_ablation)
+
+
+# ----------------------------------------------------------------------
+# Scenarios (experiment id → canonical default Scenario)
+# ----------------------------------------------------------------------
+#: Experiment id → zero-argument factory of the canonical default
+#: :class:`~repro.api.scenario.Scenario` for that paper artifact.  The
+#: built-in factories are registered in :mod:`repro.api.scenario`, one per
+#: entry of ``python -m repro list``.
+SCENARIOS: Registry[Callable[[], "Scenario"]] = Registry("scenario")
+
+#: Experiments the CLI refuses to `run` directly (their full-fidelity form
+#: is a benchmark); they remain runnable through :class:`repro.api.Runner`.
+BENCH_ONLY_EXPERIMENTS = frozenset(
+    {"abl-defuzz", "abl-threshold", "abl-baselines", "net-integration"}
+)
+
+
+def register_scenario(experiment_id: str, *, replace: bool = False):
+    """Decorator registering a default-scenario factory for an experiment id."""
+    return SCENARIOS.register(experiment_id, replace=replace)
+
+
+def scenario_for(experiment_id: str) -> "Scenario":
+    """The canonical default scenario reproducing ``experiment_id``."""
+    return SCENARIOS.get(experiment_id)()
+
+
+def scenario_ids() -> tuple[str, ...]:
+    """All experiment ids with a registered scenario, in registration order."""
+    return SCENARIOS.names()

@@ -1,0 +1,328 @@
+"""The Runner facade: ``run(scenario) -> RunReport``.
+
+One entry point executes every scenario kind.  The returned
+:class:`RunReport` carries both halves of an experiment's output — the
+rendered ASCII artifact (exactly what the CLI prints) and machine-readable
+metrics — and persists to ``results/`` as a single JSON document that also
+embeds the scenario, so a saved report is a self-describing, re-runnable
+record.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from ..analysis.io import network_sweep_result_to_dict, sweep_result_to_dict
+from ..analysis.plotting import ascii_line_plot
+from ..analysis.tables import format_curve_table, format_table
+from ..cac.facs.system import FACSConfig
+from ..experiments.network_sweep import (
+    DEFAULT_NETWORK_BASE_CONFIG,
+    network_sweep_spec,
+    render_network_sweep,
+)
+from ..simulation.config import NetworkExperimentConfig
+from ..simulation.engine import NetworkRunOutput, run_network_experiment
+from ..simulation.executor import SweepExecutor, executor_by_name
+from ..simulation.sweep import SweepResult, run_network_sweep
+from .registry import ABLATIONS, ARTIFACTS, FIGURES, SURFACES, controller_factory
+from .scenario import (
+    AblationScenario,
+    ArtifactScenario,
+    FigureSweepScenario,
+    NetworkIntegrationScenario,
+    NetworkSweepScenario,
+    Scenario,
+    ScenarioError,
+    SurfaceScenario,
+)
+
+__all__ = ["Runner", "RunReport", "run", "register_runner"]
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Typed result of one scenario run.
+
+    ``text`` is the rendered ASCII artifact — byte-identical to what the
+    pre-redesign CLI printed for the equivalent command.  ``metrics`` is
+    the machine-readable counterpart (plain-JSON types only).
+    """
+
+    scenario: Scenario
+    text: str
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "metrics": dict(self.metrics),
+            "text": self.text,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, directory: str | Path) -> Path:
+        """Persist the report as ``<directory>/<scenario slug>.json``."""
+        target = Path(directory) / f"{self.scenario.slug}.json"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n")
+        return target
+
+    @staticmethod
+    def load(path: str | Path) -> "RunReport":
+        """Rebuild a report previously written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        try:
+            return RunReport(
+                scenario=Scenario.from_dict(payload["scenario"]),
+                text=payload["text"],
+                metrics=payload["metrics"],
+            )
+        except KeyError as exc:
+            raise ScenarioError(f"report {path} is missing key {exc}") from None
+
+
+Handler = Callable[[Scenario], tuple[str, dict[str, Any]]]
+_HANDLERS: dict[type, Handler] = {}
+
+
+def register_runner(scenario_cls: type):
+    """Decorator registering the execution handler of a scenario class.
+
+    The handler receives the scenario and returns ``(text, metrics)``.
+    Together with :func:`repro.api.scenario.scenario_kind` this completes
+    the extension path for new experiment kinds: register the dataclass
+    for serialization, register its handler here, and
+    :meth:`Runner.run` dispatches to it (subclasses inherit their parent's
+    handler unless they register their own).
+    """
+
+    def decorator(handler: Handler) -> Handler:
+        _HANDLERS[scenario_cls] = handler
+        return handler
+
+    return decorator
+
+
+#: Internal alias kept for the built-in handlers below.
+_handles = register_runner
+
+
+class Runner:
+    """Facade executing declarative scenarios.
+
+    >>> from repro.api import Runner, scenario_for
+    >>> report = Runner().run(scenario_for("table1-frb1"))
+    >>> print(report.text)          # the paper artifact
+    >>> report.save("results")      # persist artifact + metrics + scenario
+    """
+
+    def run(self, scenario: Scenario) -> RunReport:
+        """Execute ``scenario`` and return its :class:`RunReport`."""
+        handler = next(
+            (
+                _HANDLERS[cls]
+                for cls in type(scenario).__mro__
+                if cls in _HANDLERS
+            ),
+            None,
+        )
+        if handler is None:
+            raise ScenarioError(
+                f"no runner is registered for scenario type "
+                f"{type(scenario).__name__} (kind {scenario.kind!r}); "
+                f"register one with repro.api.register_runner"
+            )
+        text, metrics = handler(scenario)
+        return RunReport(scenario=scenario, text=text, metrics=metrics)
+
+
+def run(scenario: Scenario) -> RunReport:
+    """Module-level convenience wrapper around :meth:`Runner.run`."""
+    return Runner().run(scenario)
+
+
+# ----------------------------------------------------------------------
+# Per-kind handlers
+# ----------------------------------------------------------------------
+def _build_executor(scenario: Any) -> SweepExecutor:
+    return executor_by_name(scenario.executor, workers=scenario.workers)
+
+
+@_handles(ArtifactScenario)
+def _run_artifact(scenario: ArtifactScenario) -> tuple[str, dict[str, Any]]:
+    text = ARTIFACTS.get(scenario.artifact)()
+    return text, {"type": "artifact", "artifact": scenario.artifact}
+
+
+@_handles(SurfaceScenario)
+def _run_surface(scenario: SurfaceScenario) -> tuple[str, dict[str, Any]]:
+    definition = SURFACES.get(scenario.surface)
+    fixed = (
+        definition.default_fixed
+        if scenario.fixed_value is None
+        else scenario.fixed_value
+    )
+    xs, ys, values = definition.grid(
+        **{
+            definition.fixed_kwarg: fixed,
+            "resolution": scenario.resolution,
+            "engine": scenario.engine,
+        }
+    )
+    text = definition.render_grid(xs, ys, values, **{definition.fixed_kwarg: fixed})
+    metrics = {
+        "type": "surface",
+        "surface": scenario.surface,
+        "fixed": {definition.fixed_kwarg: fixed},
+        "x": xs,
+        "y": ys,
+        "values": values,
+    }
+    return text, metrics
+
+
+@_handles(FigureSweepScenario)
+def _run_figure_sweep(scenario: FigureSweepScenario) -> tuple[str, dict[str, Any]]:
+    definition = FIGURES.get(scenario.figure)
+    kwargs: dict[str, Any] = {
+        "request_counts": scenario.request_counts,
+        "replications": scenario.replications,
+        "facs_config": FACSConfig(engine=scenario.engine),
+        "executor": _build_executor(scenario),
+    }
+    if scenario.seed is not None:
+        kwargs["seed"] = scenario.seed
+    if scenario.curve_values is not None:
+        kwargs[definition.curve_kwarg] = scenario.curve_values
+    result = definition.reproduce(**kwargs)
+    return definition.render(result), sweep_result_to_dict(result)
+
+
+@_handles(NetworkSweepScenario)
+def _run_network_sweep(scenario: NetworkSweepScenario) -> tuple[str, dict[str, Any]]:
+    controllers = {
+        name: controller_factory(name, engine=scenario.engine)
+        for name in scenario.controllers
+    }
+    base_config = replace(
+        DEFAULT_NETWORK_BASE_CONFIG,
+        rings=scenario.rings,
+        cell_radius_km=scenario.cell_radius_km,
+        duration_s=scenario.duration_s,
+        mean_speed_kmh=scenario.mean_speed_kmh,
+        seed=scenario.seed,
+    )
+    spec = network_sweep_spec(
+        arrival_rates=scenario.arrival_rates,
+        replications=scenario.replications,
+        base_config=base_config,
+        controllers=controllers,
+    )
+    result = run_network_sweep(spec, executor=_build_executor(scenario))
+    return render_network_sweep(result), network_sweep_result_to_dict(result)
+
+
+def _render_ablation(result: SweepResult) -> str:
+    """Generic table + plot rendering for the ablation sweeps."""
+    x_values = result.curves[0].request_counts()
+    series = {curve.label: curve.acceptance_series() for curve in result.curves}
+    table = format_curve_table(
+        "Requests",
+        x_values,
+        series,
+        title=f"{result.name} — acceptance percentage vs requesting connections",
+    )
+    if len(x_values) < 2:
+        return table
+    plot = ascii_line_plot(
+        [float(x) for x in x_values],
+        series,
+        y_label="percentage of accepted calls",
+        x_label="number of requesting connections",
+        title=result.name,
+    )
+    return f"{table}\n\n{plot}"
+
+
+@_handles(AblationScenario)
+def _run_ablation(scenario: AblationScenario) -> tuple[str, dict[str, Any]]:
+    reproduce = ABLATIONS.get(scenario.ablation)
+    kwargs: dict[str, Any] = {"replications": scenario.replications}
+    if scenario.request_counts is not None:
+        kwargs["request_counts"] = scenario.request_counts
+    if scenario.seed is not None:
+        kwargs["seed"] = scenario.seed
+    result = reproduce(**kwargs)
+    return _render_ablation(result), sweep_result_to_dict(result)
+
+
+def _network_run_metrics(output: NetworkRunOutput) -> dict[str, Any]:
+    metrics = output.result.metrics
+    return {
+        "requested": metrics.requested,
+        "acceptance_percentage": metrics.acceptance_percentage,
+        "blocking_probability": metrics.blocking_probability,
+        "dropping_probability": metrics.dropping_probability,
+        "handoff_attempts": output.handoff_attempts,
+        "handoff_failure_ratio": output.handoff_failure_ratio,
+        "time_average_occupancy_bu": output.time_average_occupancy_bu,
+    }
+
+
+@_handles(NetworkIntegrationScenario)
+def _run_network_integration(
+    scenario: NetworkIntegrationScenario,
+) -> tuple[str, dict[str, Any]]:
+    config = NetworkExperimentConfig(
+        rings=scenario.rings,
+        cell_radius_km=scenario.cell_radius_km,
+        arrival_rate_per_cell_per_s=scenario.arrival_rate_per_cell_per_s,
+        duration_s=scenario.duration_s,
+        mean_speed_kmh=scenario.mean_speed_kmh,
+        seed=scenario.seed,
+    )
+    per_controller: dict[str, dict[str, Any]] = {}
+    rows = []
+    for name in scenario.controllers:
+        output = run_network_experiment(config, controller_factory(name, engine=scenario.engine))
+        numbers = _network_run_metrics(output)
+        per_controller[name] = numbers
+        rows.append(
+            [
+                name,
+                numbers["requested"],
+                f"{numbers['acceptance_percentage']:.1f}%",
+                f"{numbers['blocking_probability']:.3f}",
+                f"{numbers['dropping_probability']:.3f}",
+                numbers["handoff_attempts"],
+                f"{numbers['handoff_failure_ratio']:.3f}",
+                f"{numbers['time_average_occupancy_bu']:.1f}",
+            ]
+        )
+    text = format_table(
+        [
+            "Controller",
+            "Requests",
+            "Accepted",
+            "P(block)",
+            "P(drop)",
+            "Handoffs",
+            "Handoff fail",
+            "Avg BU in use",
+        ],
+        rows,
+        title=(
+            f"{3 * scenario.rings * (scenario.rings + 1) + 1}-cell network, "
+            f"{scenario.duration_s:.0f}s of Poisson arrivals, "
+            f"Gauss-Markov mobility"
+        ),
+    )
+    metrics = {"type": "network-integration", "controllers": per_controller}
+    return text, metrics

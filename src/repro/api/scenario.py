@@ -1,0 +1,546 @@
+"""Declarative, serializable experiment scenarios.
+
+A :class:`Scenario` is a frozen dataclass describing *everything* needed to
+reproduce one experiment — workload, topology, controllers, engine,
+executor, seeds and replications — with no behaviour attached.  Scenarios
+round-trip losslessly through ``to_dict``/``from_dict`` (and JSON), so an
+experiment can live in a config file, travel over a queue, or be archived
+next to its results.  :class:`repro.api.Runner` turns a scenario into a
+:class:`repro.api.RunReport`.
+
+Each concrete scenario kind is registered in :data:`SCENARIO_KINDS` under
+its ``kind`` discriminator; ``Scenario.from_dict`` dispatches on that key
+and rejects unknown kinds and unknown fields loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, ClassVar, Mapping
+
+from ..fuzzy.controller import ENGINES
+from ..registry import Registry, RegistryError
+from ..simulation.config import PAPER_REQUEST_COUNTS
+from ..simulation.executor import EXECUTORS
+from ..simulation.sweep import PAPER_NETWORK_ARRIVAL_RATES
+from .registry import (
+    ABLATIONS,
+    ARTIFACTS,
+    CONTROLLERS,
+    DEFAULT_NETWORK_CONTROLLERS,
+    FIGURES,
+    SURFACES,
+    register_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioError",
+    "SCENARIO_KINDS",
+    "scenario_kind",
+    "ArtifactScenario",
+    "SurfaceScenario",
+    "FigureSweepScenario",
+    "NetworkSweepScenario",
+    "AblationScenario",
+    "NetworkIntegrationScenario",
+]
+
+
+class ScenarioError(ValueError):
+    """Raised when a scenario is invalid or a payload cannot be decoded."""
+
+
+#: ``kind`` discriminator → concrete scenario class.
+SCENARIO_KINDS: Registry[type] = Registry("scenario kind")
+
+
+def scenario_kind(name: str):
+    """Class decorator registering a scenario class under its ``kind``."""
+
+    def decorator(cls: type) -> type:
+        cls.kind = name
+        SCENARIO_KINDS.register(name, cls)
+        return cls
+
+    return decorator
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioError(message)
+
+
+def _check_int(value: object, what: str, minimum: int) -> None:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool) and value >= minimum,
+        f"{what} must be an integer >= {minimum}, got {value!r}",
+    )
+
+
+def _check_optional_int(value: object, what: str, minimum: int) -> None:
+    if value is not None:
+        _check_int(value, what, minimum)
+
+
+def _check_seed(seed: object) -> None:
+    _require(
+        seed is None or (isinstance(seed, int) and not isinstance(seed, bool)),
+        f"seed must be an integer or null, got {seed!r}",
+    )
+
+
+def _check_engine(engine: str) -> None:
+    _require(
+        engine in ENGINES,
+        f"unknown engine {engine!r}; available: {list(ENGINES)}",
+    )
+
+
+def _check_executor(executor: str, workers: int | None) -> None:
+    _require(
+        executor in EXECUTORS,
+        f"unknown executor {executor!r}; available: {list(EXECUTORS)}",
+    )
+    _check_optional_int(workers, "workers", 1)
+    if workers is not None:
+        _require(
+            executor != "serial",
+            "workers requires a pool executor (process or thread)",
+        )
+
+
+def _check_controllers(controllers: tuple[str, ...]) -> None:
+    _require(len(controllers) > 0, "at least one controller is required")
+    duplicates = sorted({c for c in controllers if controllers.count(c) > 1})
+    _require(not duplicates, f"duplicate controllers: {', '.join(duplicates)}")
+    for name in controllers:
+        _require(
+            name in CONTROLLERS,
+            f"unknown controller {name!r}; available: {list(CONTROLLERS)}",
+        )
+
+
+def _check_finite(value: float, what: str) -> None:
+    _require(
+        isinstance(value, (int, float)) and math.isfinite(value),
+        f"{what} must be a finite number, got {value!r}",
+    )
+
+
+def _as_tuple(value: Any) -> Any:
+    return tuple(value) if isinstance(value, (list, tuple)) else value
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Base class of every declarative experiment description."""
+
+    #: Discriminator stamped into every serialized payload.
+    kind: ClassVar[str] = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def slug(self) -> str:
+        """Filesystem-friendly identifier used for saved reports."""
+        return self.kind
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON dict form (tuples become lists, ``None`` stays null)."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            payload[spec.name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "Scenario":
+        """Decode a scenario payload, dispatching on its ``kind``.
+
+        Unknown kinds, unknown fields and invalid values all raise
+        :class:`ScenarioError` with the offending names spelled out.
+        """
+        if not isinstance(payload, Mapping):
+            raise ScenarioError(
+                f"scenario payload must be a mapping, got {type(payload).__name__}"
+            )
+        data = dict(payload)
+        kind = data.pop("kind", None)
+        if kind is None:
+            raise ScenarioError(
+                f"scenario payload needs a 'kind' key; known kinds: {list(SCENARIO_KINDS)}"
+            )
+        try:
+            cls = SCENARIO_KINDS.get(kind)
+        except RegistryError as exc:
+            raise ScenarioError(str(exc)) from None
+        known = {spec.name for spec in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ScenarioError(
+                f"unknown field(s) for scenario kind {kind!r}: {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        kwargs = {name: _as_tuple(value) for name, value in data.items()}
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"invalid {kind!r} scenario: {exc}") from exc
+
+    @staticmethod
+    def from_json(text: str) -> "Scenario":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"scenario JSON does not parse: {exc}") from exc
+        return Scenario.from_dict(payload)
+
+    @staticmethod
+    def from_file(path: str | Path) -> "Scenario":
+        return Scenario.from_json(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Concrete kinds
+# ----------------------------------------------------------------------
+@scenario_kind("artifact")
+@dataclass(frozen=True)
+class ArtifactScenario(Scenario):
+    """A static paper artifact (rule tables, membership-function figures)."""
+
+    artifact: str
+
+    def __post_init__(self) -> None:
+        _require(
+            self.artifact in ARTIFACTS,
+            f"unknown artifact {self.artifact!r}; available: {list(ARTIFACTS)}",
+        )
+
+    @property
+    def slug(self) -> str:
+        return self.artifact
+
+
+@scenario_kind("surface")
+@dataclass(frozen=True)
+class SurfaceScenario(Scenario):
+    """A control-surface rendering of FLC1 or FLC2.
+
+    ``fixed_value`` pins the surface's third input (FLC1: the user-to-BS
+    distance in km, FLC2: the requested bandwidth in BU); ``None`` uses the
+    registered default.
+    """
+
+    surface: str
+    resolution: int = 31
+    fixed_value: float | None = None
+    engine: str = "compiled"
+
+    def __post_init__(self) -> None:
+        _require(
+            self.surface in SURFACES,
+            f"unknown surface {self.surface!r}; available: {list(SURFACES)}",
+        )
+        _require(
+            isinstance(self.resolution, int) and self.resolution >= 2,
+            f"resolution must be an integer >= 2, got {self.resolution!r}",
+        )
+        if self.fixed_value is not None:
+            _check_finite(self.fixed_value, "fixed_value")
+        _check_engine(self.engine)
+
+    @property
+    def slug(self) -> str:
+        return f"surface-{self.surface}"
+
+
+@scenario_kind("figure-sweep")
+@dataclass(frozen=True)
+class FigureSweepScenario(Scenario):
+    """One of the paper's acceptance-vs-requests figures (Figs. 7–10).
+
+    ``curve_values`` overrides the per-curve parameter of Figs. 7–9 (the
+    fixed speeds, angles or distances); Fig. 10 compares FACS vs SCC and
+    accepts no curve values.  ``seed`` of ``None`` keeps the figure's
+    canonical seed so default scenarios reproduce the paper artifacts.
+    """
+
+    figure: str
+    request_counts: tuple[int, ...] = PAPER_REQUEST_COUNTS
+    replications: int = 10
+    seed: int | None = None
+    curve_values: tuple[float, ...] | None = None
+    engine: str = "compiled"
+    executor: str = "serial"
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "request_counts", tuple(self.request_counts))
+        if self.curve_values is not None:
+            object.__setattr__(self, "curve_values", tuple(self.curve_values))
+        _require(
+            self.figure in FIGURES,
+            f"unknown figure {self.figure!r}; available: {list(FIGURES)}",
+        )
+        _require(
+            len(self.request_counts) > 0, "at least one request count is required"
+        )
+        for count in self.request_counts:
+            _require(
+                isinstance(count, int) and count >= 0,
+                f"request counts must be non-negative integers, got {count!r}",
+            )
+        _check_int(self.replications, "replications", 1)
+        _check_seed(self.seed)
+        if self.curve_values is not None:
+            _require(
+                FIGURES.get(self.figure).curve_kwarg is not None,
+                f"figure {self.figure!r} has a fixed curve set and accepts no "
+                f"curve_values",
+            )
+            _require(
+                len(self.curve_values) > 0, "curve_values must not be empty"
+            )
+            for value in self.curve_values:
+                _check_finite(value, "curve values")
+        _check_engine(self.engine)
+        _check_executor(self.executor, self.workers)
+
+    @property
+    def slug(self) -> str:
+        return self.figure
+
+
+@scenario_kind("network-sweep")
+@dataclass(frozen=True)
+class NetworkSweepScenario(Scenario):
+    """The multi-cell QoS sweep: controllers × arrival rates × replications.
+
+    Defaults mirror ``DEFAULT_NETWORK_BASE_CONFIG`` — the canonical 7-cell
+    topology of the Section 4 QoS claim.
+    """
+
+    controllers: tuple[str, ...] = DEFAULT_NETWORK_CONTROLLERS
+    arrival_rates: tuple[float, ...] = PAPER_NETWORK_ARRIVAL_RATES
+    replications: int = 5
+    duration_s: float = 1200.0
+    rings: int = 1
+    cell_radius_km: float = 1.5
+    mean_speed_kmh: float = 60.0
+    seed: int = 20070627
+    engine: str = "compiled"
+    executor: str = "serial"
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "controllers", tuple(self.controllers))
+        object.__setattr__(self, "arrival_rates", tuple(self.arrival_rates))
+        _check_controllers(self.controllers)
+        _require(
+            len(self.arrival_rates) > 0, "at least one arrival rate is required"
+        )
+        for rate in self.arrival_rates:
+            _check_finite(rate, "arrival rates")
+            _require(rate > 0, f"arrival rates must be positive, got {rate}")
+        _check_int(self.replications, "replications", 1)
+        _check_finite(self.duration_s, "duration_s")
+        _require(self.duration_s > 0, f"duration_s must be positive, got {self.duration_s}")
+        _require(
+            isinstance(self.rings, int) and self.rings >= 0,
+            f"rings must be a non-negative integer, got {self.rings!r}",
+        )
+        _check_finite(self.cell_radius_km, "cell_radius_km")
+        _require(
+            self.cell_radius_km > 0,
+            f"cell_radius_km must be positive, got {self.cell_radius_km}",
+        )
+        _check_finite(self.mean_speed_kmh, "mean_speed_kmh")
+        _require(
+            self.mean_speed_kmh >= 0,
+            f"mean_speed_kmh must be non-negative, got {self.mean_speed_kmh}",
+        )
+        _require(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool),
+            f"seed must be an integer, got {self.seed!r}",
+        )
+        _check_engine(self.engine)
+        _check_executor(self.executor, self.workers)
+
+    @property
+    def slug(self) -> str:
+        return "net-sweep"
+
+
+@scenario_kind("ablation")
+@dataclass(frozen=True)
+class AblationScenario(Scenario):
+    """One of the sensitivity ablations (not in the paper).
+
+    ``request_counts`` of ``None`` keeps the ablation's canonical x axis.
+    """
+
+    ablation: str
+    request_counts: tuple[int, ...] | None = None
+    replications: int = 5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.request_counts is not None:
+            object.__setattr__(self, "request_counts", tuple(self.request_counts))
+        _require(
+            self.ablation in ABLATIONS,
+            f"unknown ablation {self.ablation!r}; available: {list(ABLATIONS)}",
+        )
+        if self.request_counts is not None:
+            _require(
+                len(self.request_counts) > 0,
+                "at least one request count is required",
+            )
+            for count in self.request_counts:
+                _require(
+                    isinstance(count, int) and count >= 0,
+                    f"request counts must be non-negative integers, got {count!r}",
+                )
+        _check_int(self.replications, "replications", 1)
+        _check_seed(self.seed)
+
+    @property
+    def slug(self) -> str:
+        return f"abl-{self.ablation}"
+
+
+@scenario_kind("network-integration")
+@dataclass(frozen=True)
+class NetworkIntegrationScenario(Scenario):
+    """One multi-cell integration run per controller (handoffs, dropping)."""
+
+    controllers: tuple[str, ...] = ("FACS", "SCC")
+    arrival_rate_per_cell_per_s: float = 0.02
+    duration_s: float = 3600.0
+    rings: int = 1
+    cell_radius_km: float = 2.0
+    mean_speed_kmh: float = 40.0
+    seed: int = 20070626
+    engine: str = "compiled"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "controllers", tuple(self.controllers))
+        _check_controllers(self.controllers)
+        _check_finite(self.arrival_rate_per_cell_per_s, "arrival_rate_per_cell_per_s")
+        _require(
+            self.arrival_rate_per_cell_per_s > 0,
+            f"arrival_rate_per_cell_per_s must be positive, "
+            f"got {self.arrival_rate_per_cell_per_s}",
+        )
+        _check_finite(self.duration_s, "duration_s")
+        _require(self.duration_s > 0, f"duration_s must be positive, got {self.duration_s}")
+        _require(
+            isinstance(self.rings, int) and self.rings >= 0,
+            f"rings must be a non-negative integer, got {self.rings!r}",
+        )
+        _check_finite(self.cell_radius_km, "cell_radius_km")
+        _require(
+            self.cell_radius_km > 0,
+            f"cell_radius_km must be positive, got {self.cell_radius_km}",
+        )
+        _check_finite(self.mean_speed_kmh, "mean_speed_kmh")
+        _require(
+            self.mean_speed_kmh >= 0,
+            f"mean_speed_kmh must be non-negative, got {self.mean_speed_kmh}",
+        )
+        _require(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool),
+            f"seed must be an integer, got {self.seed!r}",
+        )
+        _check_engine(self.engine)
+
+    @property
+    def slug(self) -> str:
+        return "net-integration"
+
+
+# ----------------------------------------------------------------------
+# Built-in default scenarios, one per `python -m repro list` entry.
+# Registration order matches the EXPERIMENTS inventory.
+# ----------------------------------------------------------------------
+@register_scenario("table1-frb1")
+def _table1_scenario() -> Scenario:
+    return ArtifactScenario(artifact="table1-frb1")
+
+
+@register_scenario("table2-frb2")
+def _table2_scenario() -> Scenario:
+    return ArtifactScenario(artifact="table2-frb2")
+
+
+@register_scenario("fig5-flc1-mf")
+def _fig5_scenario() -> Scenario:
+    return ArtifactScenario(artifact="fig5-flc1-mf")
+
+
+@register_scenario("fig6-flc2-mf")
+def _fig6_scenario() -> Scenario:
+    return ArtifactScenario(artifact="fig6-flc2-mf")
+
+
+@register_scenario("fig7-speed")
+def _fig7_scenario() -> Scenario:
+    return FigureSweepScenario(figure="fig7-speed")
+
+
+@register_scenario("fig8-angle")
+def _fig8_scenario() -> Scenario:
+    return FigureSweepScenario(figure="fig8-angle")
+
+
+@register_scenario("fig9-distance")
+def _fig9_scenario() -> Scenario:
+    return FigureSweepScenario(figure="fig9-distance")
+
+
+@register_scenario("fig10-facs-vs-scc")
+def _fig10_scenario() -> Scenario:
+    return FigureSweepScenario(figure="fig10-facs-vs-scc")
+
+
+@register_scenario("abl-defuzz")
+def _abl_defuzz_scenario() -> Scenario:
+    return AblationScenario(ablation="defuzz")
+
+
+@register_scenario("abl-threshold")
+def _abl_threshold_scenario() -> Scenario:
+    return AblationScenario(ablation="threshold")
+
+
+@register_scenario("abl-baselines")
+def _abl_baselines_scenario() -> Scenario:
+    return AblationScenario(ablation="baselines")
+
+
+@register_scenario("net-integration")
+def _net_integration_scenario() -> Scenario:
+    return NetworkIntegrationScenario()
+
+
+@register_scenario("net-sweep")
+def _net_sweep_scenario() -> Scenario:
+    return NetworkSweepScenario()
+
+
+@register_scenario("surface-flc1")
+def _surface_flc1_scenario() -> Scenario:
+    return SurfaceScenario(surface="flc1")
+
+
+@register_scenario("surface-flc2")
+def _surface_flc2_scenario() -> Scenario:
+    return SurfaceScenario(surface="flc2")

@@ -95,9 +95,7 @@ class FLC1:
         per-row loop.
         """
         return np.clip(
-            self._controller.compute_batch(
-                S=speeds_kmh, A=angles_deg, D=distances_km
-            ),
+            self._controller.compute_batch(S=speeds_kmh, A=angles_deg, D=distances_km),
             0.0,
             1.0,
         )

@@ -81,9 +81,7 @@ class FLC2:
         self, correction_value: float, request_bu: float, counter_state_bu: float
     ) -> float:
         """Defuzzified A/R score in [-1, 1] for raw crisp inputs."""
-        return self._controller.compute(
-            Cv=correction_value, R=request_bu, Cs=counter_state_bu
-        )
+        return self._controller.compute(Cv=correction_value, R=request_bu, Cs=counter_state_bu)
 
     def decision_scores(
         self,

@@ -26,6 +26,7 @@ import numpy as np
 from ...cellular.calls import Call
 from ...cellular.cell import BaseStation
 from ...cellular.mobility import UserState
+from ...fuzzy.controller import ENGINES
 from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
 from ..base import AdmissionController, AdmissionDecision
 from ..counters import ServiceCounters
@@ -58,10 +59,9 @@ class FACSConfig:
             raise ValueError(
                 f"acceptance_threshold must lie in [-1, 1], got {self.acceptance_threshold}"
             )
-        if self.engine not in ("auto", "compiled", "reference"):
-            raise ValueError(
-                f"engine must be 'auto', 'compiled' or 'reference', got {self.engine!r}"
-            )
+        if self.engine not in ENGINES:
+            choices = "', '".join(sorted(ENGINES))
+            raise ValueError(f"engine must be '{choices}', got {self.engine!r}")
 
 
 @lru_cache(maxsize=64)
@@ -116,12 +116,8 @@ class FuzzyAdmissionControlSystem(AdmissionController):
     ):
         self._config = config or FACSConfig()
         try:
-            self._flc1 = _shared_flc1(
-                self._config.flc1, defuzzifier, self._config.engine
-            )
-            self._flc2 = _shared_flc2(
-                self._config.flc2, defuzzifier, self._config.engine
-            )
+            self._flc1 = _shared_flc1(self._config.flc1, defuzzifier, self._config.engine)
+            self._flc2 = _shared_flc2(self._config.flc2, defuzzifier, self._config.engine)
         except TypeError:
             # Unhashable custom config/defuzzifier: skip the memo and build
             # directly, preserving the pre-memoisation contract.
@@ -214,9 +210,7 @@ class FuzzyAdmissionControlSystem(AdmissionController):
             bandwidths,
             np.full(len(calls), counter_state),
         )
-        fits = np.array(
-            [station.can_fit(call.bandwidth_units) for call in calls], dtype=bool
-        )
+        fits = np.array([station.can_fit(call.bandwidth_units) for call in calls], dtype=bool)
         accepted = (scores > self._config.acceptance_threshold) & fits
         return BatchAdmissionDecision(
             scores=scores,

@@ -164,9 +164,7 @@ class ShadowClusterController(AdmissionController):
         candidate = self._estimator.profile_for(call)
         envelope = self.projected_envelope(station)
         candidate_demand = candidate.in_cell_demand()
-        peak = max(
-            base + extra for base, extra in zip(envelope, candidate_demand)
-        )
+        peak = max(base + extra for base, extra in zip(envelope, candidate_demand))
         within_envelope = peak <= admission_capacity
         reservations_ok = self._establish_reservations(call)
         accepted = fits and within_envelope and reservations_ok

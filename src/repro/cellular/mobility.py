@@ -292,9 +292,7 @@ class GaussMarkovModel(MobilityModel):
 
     def update(self, terminal: MobileTerminal, duration_s: float, rng: "RandomStream") -> None:
         remaining = duration_s
-        mean_heading = self._mean_heading.setdefault(
-            terminal.terminal_id, terminal.heading_deg
-        )
+        mean_heading = self._mean_heading.setdefault(terminal.terminal_id, terminal.heading_deg)
         sqrt_term = math.sqrt(max(1.0 - self.alpha**2, 0.0))
         while remaining > 1e-9:
             step = min(self.update_interval_s, remaining)

@@ -125,9 +125,7 @@ class CellularNetwork:
 
     def hop_distance(self, cell_a: int, cell_b: int) -> int:
         """Number of cell-to-cell hops between two cells."""
-        return int(
-            nx.shortest_path_length(self._graph, source=cell_a, target=cell_b)
-        )
+        return int(nx.shortest_path_length(self._graph, source=cell_a, target=cell_b))
 
     # ------------------------------------------------------------------
     def cells_along_heading(

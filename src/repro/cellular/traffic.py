@@ -94,9 +94,7 @@ class TrafficMix:
         # derives per call (same order, same normalisation arithmetic), hoisted
         # out of the per-request hot loop.
         self._services: tuple[ServiceClass, ...] = tuple(self._classes)
-        weights = np.asarray(
-            [self._classes[s].share for s in self._services], dtype=float
-        )
+        weights = np.asarray([self._classes[s].share for s in self._services], dtype=float)
         self._probabilities = weights / weights.sum()
 
     @property

@@ -1,4 +1,4 @@
-"""Command-line interface for the reproduction.
+"""Command-line interface for the reproduction — a thin shell over ``repro.api``.
 
 ``python -m repro list`` shows every registered paper artifact;
 ``python -m repro run <experiment-id>`` regenerates one of them and prints
@@ -7,6 +7,11 @@ the same tables/plots the benchmarks produce.  The figure experiments accept
 use the same entry point.  ``python -m repro network-sweep`` drives the
 multi-cell QoS sweep with full control over load points, topology and the
 executor/engine fast paths.
+
+Every command builds a declarative :class:`repro.api.Scenario` and hands it
+to the :class:`repro.api.Runner` facade; ``--config`` runs a scenario
+straight from JSON, ``--format json`` emits the machine-readable
+:class:`repro.api.RunReport`, and ``--save`` persists it.
 """
 
 from __future__ import annotations
@@ -17,45 +22,70 @@ from dataclasses import replace
 from typing import Sequence
 
 from .analysis.tables import format_table
-from .cac.facs.system import FACSConfig
-from .simulation.executor import EXECUTOR_CHOICES, SweepExecutor, executor_by_name
-from .simulation.sweep import PAPER_NETWORK_ARRIVAL_RATES, run_network_sweep
-from .experiments import (
-    DEFAULT_NETWORK_BASE_CONFIG,
-    EXPERIMENTS,
-    experiment_ids,
-    network_sweep_controllers,
-    network_sweep_spec,
-    render_figure7,
-    render_figure8,
-    render_figure9,
-    render_figure10,
-    render_flc1_memberships,
-    render_flc1_surface,
-    render_flc2_memberships,
-    render_flc2_surface,
-    render_frb1,
-    render_frb2,
-    render_network_sweep,
-    reproduce_figure7,
-    reproduce_figure8,
-    reproduce_figure9,
-    reproduce_figure10,
-    reproduce_network_sweep,
+from .api import (
+    BENCH_ONLY_EXPERIMENTS,
+    CONTROLLERS,
+    DEFAULT_NETWORK_CONTROLLERS,
+    ENGINES,
+    EXECUTORS,
+    Runner,
+    RunReport,
+    Scenario,
+    ScenarioError,
+    scenario_for,
+    scenario_ids,
 )
+from .api.scenario import (
+    ArtifactScenario,
+    FigureSweepScenario,
+    NetworkSweepScenario,
+    SurfaceScenario,
+)
+from .experiments import EXPERIMENTS
+from .simulation.sweep import PAPER_NETWORK_ARRIVAL_RATES
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "NETWORK_CONTROLLER_CHOICES"]
 
-#: Controller labels selectable via ``network-sweep --controllers``.
-NETWORK_CONTROLLER_CHOICES = ("FACS", "SCC", "CS")
+#: Deprecated alias of :data:`repro.api.DEFAULT_NETWORK_CONTROLLERS`; the
+#: full selectable set now lives in the ``repro.api.CONTROLLERS`` registry.
+NETWORK_CONTROLLER_CHOICES = DEFAULT_NETWORK_CONTROLLERS
+
+#: Scenario-shaping flags (argparse dest → default) of each command.  The
+#: single source for both the argparse defaults and the ``--config``
+#: conflict check: ``--config`` *replaces* these flags, so combining it
+#: with a non-default value is rejected rather than silently ignored.
+_SHARED_SHAPING_DEFAULTS: dict[str, object] = {
+    "executor": "serial",
+    "workers": None,
+    "engine": "compiled",
+}
+_RUN_SHAPING_DEFAULTS: dict[str, object] = {
+    "replications": 5,
+    "requests": [10, 30, 50, 70, 100],
+    **_SHARED_SHAPING_DEFAULTS,
+}
+_NETWORK_SHAPING_DEFAULTS: dict[str, object] = {
+    "rates": list(PAPER_NETWORK_ARRIVAL_RATES),
+    "replications": 3,
+    "duration": 600.0,
+    "rings": 1,
+    "controllers": list(DEFAULT_NETWORK_CONTROLLERS),
+    "seed": 20070627,
+    **_SHARED_SHAPING_DEFAULTS,
+}
+
+
+def _cli_engine_choices() -> list[str]:
+    """Engine names exposed on ``--engine`` (the registry's cli entries)."""
+    return [name for name in ENGINES.names() if ENGINES.get(name).cli]
 
 
 def _add_performance_flags(parser: argparse.ArgumentParser) -> None:
     """Attach the shared --executor/--workers/--engine flag group."""
     parser.add_argument(
         "--executor",
-        choices=list(EXECUTOR_CHOICES),
-        default="serial",
+        choices=list(EXECUTORS.names()),
+        default=_SHARED_SHAPING_DEFAULTS["executor"],
         help="sweep backend: run replications in-process (serial) or fan them "
         "out over a worker pool (process/thread); results are identical "
         "for every backend and worker count",
@@ -63,15 +93,39 @@ def _add_performance_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
         type=int,
-        default=None,
+        default=_SHARED_SHAPING_DEFAULTS["workers"],
         help="pool size for --executor process/thread (default: all cores)",
     )
     parser.add_argument(
         "--engine",
-        choices=["compiled", "reference"],
-        default="compiled",
+        choices=_cli_engine_choices(),
+        default=_SHARED_SHAPING_DEFAULTS["engine"],
         help="fuzzy inference engine for the FACS controllers: the vectorized "
         "compiled fast path (default) or the interpreted reference engine",
+    )
+
+
+def _add_report_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared --config/--format/--save flag group."""
+    parser.add_argument(
+        "--config",
+        metavar="SCENARIO_JSON",
+        default=None,
+        help="run a declarative scenario from a JSON file instead of flags "
+        "(see repro.api.Scenario)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="print the rendered artifact (text, default) or the full "
+        "machine-readable RunReport (json)",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="persist the RunReport as <DIR>/<scenario>.json",
     )
 
 
@@ -89,21 +143,27 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list every registered paper artifact")
 
     run = subparsers.add_parser("run", help="regenerate one paper artifact")
-    run.add_argument("experiment", choices=experiment_ids(), help="experiment identifier")
+    run.add_argument(
+        "experiment",
+        nargs="?",
+        choices=list(scenario_ids()),
+        help="experiment identifier (omit when using --config)",
+    )
     run.add_argument(
         "--replications",
         type=int,
-        default=5,
+        default=_RUN_SHAPING_DEFAULTS["replications"],
         help="independent replications per sweep point (sweep experiments only)",
     )
     run.add_argument(
         "--requests",
         type=int,
         nargs="+",
-        default=[10, 30, 50, 70, 100],
+        default=list(_RUN_SHAPING_DEFAULTS["requests"]),
         help="numbers of requesting connections to sweep (figure experiments only)",
     )
     _add_performance_flags(run)
+    _add_report_flags(run)
 
     network = subparsers.add_parser(
         "network-sweep",
@@ -114,91 +174,136 @@ def build_parser() -> argparse.ArgumentParser:
         "--rates",
         type=float,
         nargs="+",
-        default=list(PAPER_NETWORK_ARRIVAL_RATES),
+        default=list(_NETWORK_SHAPING_DEFAULTS["rates"]),
         help="per-cell arrival rates (calls/s) to sweep",
     )
     network.add_argument(
         "--replications",
         type=int,
-        default=3,
+        default=_NETWORK_SHAPING_DEFAULTS["replications"],
         help="independent replications per (controller, rate) point",
     )
     network.add_argument(
         "--duration",
         type=float,
-        default=600.0,
+        default=_NETWORK_SHAPING_DEFAULTS["duration"],
         help="simulated seconds of Poisson arrivals per replication",
     )
     network.add_argument(
         "--rings",
         type=int,
-        default=1,
+        default=_NETWORK_SHAPING_DEFAULTS["rings"],
         help="hexagonal rings around the centre cell (1 ring = 7 cells)",
     )
     network.add_argument(
         "--controllers",
         nargs="+",
-        choices=list(NETWORK_CONTROLLER_CHOICES),
-        default=list(NETWORK_CONTROLLER_CHOICES),
+        choices=list(CONTROLLERS.names()),
+        default=list(_NETWORK_SHAPING_DEFAULTS["controllers"]),
         help="admission controllers to compare",
     )
     network.add_argument(
         "--seed",
         type=int,
-        default=20070627,
+        default=_NETWORK_SHAPING_DEFAULTS["seed"],
         help="master seed; replications derive independent streams from it",
     )
     _add_performance_flags(network)
+    _add_report_flags(network)
     return parser
 
 
-def _run_experiment(
-    experiment: str,
-    replications: int,
-    requests: Sequence[int],
-    executor: SweepExecutor | None = None,
-    engine: str = "compiled",
-) -> str:
-    requests = tuple(requests)
-    if experiment == "table1-frb1":
-        return render_frb1()
-    if experiment == "table2-frb2":
-        return render_frb2()
-    if experiment == "fig5-flc1-mf":
-        return render_flc1_memberships()
-    if experiment == "fig6-flc2-mf":
-        return render_flc2_memberships()
-    if experiment == "surface-flc1":
-        return render_flc1_surface(engine=engine)
-    if experiment == "surface-flc2":
-        return render_flc2_surface(engine=engine)
-    facs_config = FACSConfig(engine=engine)
-    if experiment == "net-sweep":
-        return render_network_sweep(
-            reproduce_network_sweep(
-                replications=replications,
-                executor=executor,
-                facs_config=facs_config,
-            )
+def _scenario_from_run_flags(
+    args: argparse.Namespace,
+) -> Scenario:
+    """Build the scenario for ``run <experiment>`` from the CLI flags.
+
+    Starts from the experiment's registered default scenario and overlays
+    the flags each scenario kind understands — artifacts take none, the
+    surfaces take the engine, the sweeps take the full performance group.
+    """
+    if args.experiment in BENCH_ONLY_EXPERIMENTS:
+        raise SystemExit(
+            f"experiment {args.experiment!r} is benchmark-only; run its bench "
+            f"target instead (see `python -m repro list`)"
         )
-    sweep_kwargs = dict(
-        request_counts=requests,
-        replications=replications,
-        facs_config=facs_config,
-        executor=executor,
+    scenario = scenario_for(args.experiment)
+    if isinstance(scenario, FigureSweepScenario):
+        return replace(
+            scenario,
+            request_counts=tuple(args.requests),
+            replications=args.replications,
+            engine=args.engine,
+            executor=args.executor,
+            workers=args.workers,
+        )
+    if isinstance(scenario, NetworkSweepScenario):
+        return replace(
+            scenario,
+            replications=args.replications,
+            engine=args.engine,
+            executor=args.executor,
+            workers=args.workers,
+        )
+    if isinstance(scenario, SurfaceScenario):
+        return replace(scenario, engine=args.engine)
+    if isinstance(scenario, ArtifactScenario):
+        return scenario
+    raise SystemExit(  # pragma: no cover - requires a foreign scenario kind
+        f"experiment {args.experiment!r} maps to scenario kind "
+        f"{scenario.kind!r}, which `run` has no flag mapping for; run it "
+        f"via --config or repro.api.Runner"
     )
-    if experiment == "fig7-speed":
-        return render_figure7(reproduce_figure7(**sweep_kwargs))
-    if experiment == "fig8-angle":
-        return render_figure8(reproduce_figure8(**sweep_kwargs))
-    if experiment == "fig9-distance":
-        return render_figure9(reproduce_figure9(**sweep_kwargs))
-    if experiment == "fig10-facs-vs-scc":
-        return render_figure10(reproduce_figure10(**sweep_kwargs))
-    raise SystemExit(
-        f"experiment {experiment!r} is benchmark-only; run its bench target instead "
-        f"(see `python -m repro list`)"
+
+
+def _scenario_from_network_flags(args: argparse.Namespace) -> NetworkSweepScenario:
+    """Build the multi-cell sweep scenario from the ``network-sweep`` flags."""
+    return NetworkSweepScenario(
+        controllers=tuple(args.controllers),
+        arrival_rates=tuple(args.rates),
+        replications=args.replications,
+        duration_s=args.duration,
+        rings=args.rings,
+        seed=args.seed,
+        engine=args.engine,
+        executor=args.executor,
+        workers=args.workers,
     )
+
+
+def _reject_shaping_flags_with_config(
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    defaults: dict[str, object],
+) -> None:
+    """Refuse scenario-shaping flags alongside ``--config``.
+
+    The config file fully describes the scenario; silently ignoring flags
+    like ``--replications`` next to it would let a user believe they ran
+    something they did not.
+    """
+    overridden = [
+        f"--{name}"
+        for name, default in defaults.items()
+        if getattr(args, name) != default
+    ]
+    if overridden:
+        parser.error(
+            f"--config fully describes the scenario; drop "
+            f"{', '.join(overridden)} or put those values in the scenario "
+            f"JSON instead"
+        )
+
+
+def _emit_report(report: RunReport, args: argparse.Namespace) -> None:
+    """Print the report in the requested format and optionally persist it."""
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.text)
+    if args.save is not None:
+        saved = report.save(args.save)
+        print(f"saved: {saved}", file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -217,46 +322,44 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command in ("run", "network-sweep"):
         if args.workers is not None and args.executor == "serial":
             parser.error("--workers requires --executor process or thread")
-        try:
-            executor = executor_by_name(args.executor, workers=args.workers)
-        except ValueError as exc:
-            parser.error(str(exc))
 
     if args.command == "run":
-        print(
-            _run_experiment(
-                args.experiment,
-                args.replications,
-                args.requests,
-                executor=executor,
-                engine=args.engine,
-            )
-        )
+        if args.config is not None and args.experiment is not None:
+            parser.error("pass either an experiment id or --config, not both")
+        if args.config is None and args.experiment is None:
+            parser.error("an experiment id (or --config) is required")
+        try:
+            if args.config is not None:
+                _reject_shaping_flags_with_config(parser, args, _RUN_SHAPING_DEFAULTS)
+                scenario = Scenario.from_file(args.config)
+            else:
+                scenario = _scenario_from_run_flags(args)
+        except OSError as exc:
+            parser.error(f"cannot read scenario config: {exc}")
+        except ScenarioError as exc:
+            parser.error(str(exc))
+        _emit_report(Runner().run(scenario), args)
         return 0
 
     if args.command == "network-sweep":
-        all_controllers = network_sweep_controllers(
-            facs_config=FACSConfig(engine=args.engine)
-        )
-        controllers = {
-            label: all_controllers[label]
-            for label in dict.fromkeys(args.controllers)
-        }
         try:
-            spec = network_sweep_spec(
-                arrival_rates=tuple(args.rates),
-                replications=args.replications,
-                base_config=replace(
-                    DEFAULT_NETWORK_BASE_CONFIG,
-                    rings=args.rings,
-                    duration_s=args.duration,
-                    seed=args.seed,
-                ),
-                controllers=controllers,
-            )
-        except ValueError as exc:
+            if args.config is not None:
+                _reject_shaping_flags_with_config(
+                    parser, args, _NETWORK_SHAPING_DEFAULTS
+                )
+                scenario = Scenario.from_file(args.config)
+                if not isinstance(scenario, NetworkSweepScenario):
+                    parser.error(
+                        f"network-sweep --config requires a 'network-sweep' "
+                        f"scenario, got kind {scenario.kind!r}"
+                    )
+            else:
+                scenario = _scenario_from_network_flags(args)
+        except OSError as exc:
+            parser.error(f"cannot read scenario config: {exc}")
+        except ScenarioError as exc:
             parser.error(str(exc))
-        print(render_network_sweep(run_network_sweep(spec, executor=executor)))
+        _emit_report(Runner().run(scenario), args)
         return 0
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -28,7 +28,14 @@ from .network_sweep import (
     render_network_sweep,
     reproduce_network_sweep,
 )
-from .surfaces import render_flc1_surface, render_flc2_surface
+from .surfaces import (
+    flc1_surface_grid,
+    flc2_surface_grid,
+    render_flc1_grid,
+    render_flc1_surface,
+    render_flc2_grid,
+    render_flc2_surface,
+)
 
 __all__ = [
     "ExperimentSpec",
@@ -60,4 +67,8 @@ __all__ = [
     "render_network_sweep",
     "render_flc1_surface",
     "render_flc2_surface",
+    "render_flc1_grid",
+    "render_flc2_grid",
+    "flc1_surface_grid",
+    "flc2_surface_grid",
 ]

@@ -61,7 +61,13 @@ from .compiled import (
     CrispInference,
     RuleCompilationError,
 )
-from .controller import ENGINE_CHOICES, ControllerSpec, FuzzyController
+from .controller import (
+    ENGINE_CHOICES,
+    ENGINES,
+    ControllerSpec,
+    EngineSpec,
+    FuzzyController,
+)
 
 __all__ = [
     # membership
@@ -134,4 +140,6 @@ __all__ = [
     "FuzzyController",
     "ControllerSpec",
     "ENGINE_CHOICES",
+    "ENGINES",
+    "EngineSpec",
 ]

@@ -315,9 +315,7 @@ class CompiledMamdaniEngine(MamdaniEngine):
             for rule_index, rule in enumerate(rule_base):
                 for consequent in rule.consequents:
                     if consequent.variable == var_name:
-                        surfaces.append(
-                            self._output_term_surfaces[var_name][consequent.term]
-                        )
+                        surfaces.append(self._output_term_surfaces[var_name][consequent.term])
                         entry_rules.append(rule_index)
             tensor = (
                 np.ascontiguousarray(np.stack(surfaces))
@@ -476,9 +474,7 @@ class CompiledMamdaniEngine(MamdaniEngine):
         strengths = self._firing_strengths(buffer)
         outputs: dict[str, float] = {}
         for var_name, (entry_rules, tensor, variable) in self._consequent_plans.items():
-            aggregated = self._aggregate_output(
-                strengths, entry_rules, tensor, var_name, inputs
-            )
+            aggregated = self._aggregate_output(strengths, entry_rules, tensor, var_name, inputs)
             outputs[var_name] = self._defuzzify_fast(var_name, variable, aggregated)
         dominant = int(np.argmax(strengths))
         result = CrispInference(
@@ -512,9 +508,7 @@ class CompiledMamdaniEngine(MamdaniEngine):
         outputs: dict[str, float] = {}
         aggregated: dict[str, np.ndarray] = {}
         for var_name, (entry_rules, tensor, variable) in self._consequent_plans.items():
-            surface = self._aggregate_output(
-                strengths, entry_rules, tensor, var_name, inputs
-            )
+            surface = self._aggregate_output(strengths, entry_rules, tensor, var_name, inputs)
             aggregated[var_name] = surface
             outputs[var_name] = self._defuzzifier(variable.grid, surface)
         return InferenceResult(
@@ -541,9 +535,7 @@ class CompiledMamdaniEngine(MamdaniEngine):
         """
         degrees = np.empty((matrix.shape[0], self._n_degree_slots))
         degrees[:, self._identity_slot] = 1.0
-        for k, (name, low, high, offset, memberships) in enumerate(
-            self._batch_fuzzify_plan
-        ):
+        for k, (name, low, high, offset, memberships) in enumerate(self._batch_fuzzify_plan):
             values = np.clip(matrix[:, k], low, high)
             for j, membership in enumerate(memberships):
                 degrees[:, offset + j] = np.clip(membership.evaluate(values), 0.0, 1.0)
@@ -611,9 +603,7 @@ class CompiledMamdaniEngine(MamdaniEngine):
             return (spacing * (moments[:, 1:] + moments[:, :-1]) / 2.0).sum(
                 axis=1
             ) / areas
-        return np.array(
-            [self._defuzzifier(variable.grid, row) for row in surfaces]
-        )
+        return np.array([self._defuzzifier(variable.grid, row) for row in surfaces])
 
     def _infer_batch_block(
         self, matrix: np.ndarray, row_offset: int = 0
@@ -625,9 +615,7 @@ class CompiledMamdaniEngine(MamdaniEngine):
             aggregated = self._aggregate_output_batch(
                 strengths, entry_rules, tensor, var_name, row_offset=row_offset
             )
-            outputs[var_name] = self._defuzzify_fast_batch(
-                var_name, variable, aggregated
-            )
+            outputs[var_name] = self._defuzzify_fast_batch(var_name, variable, aggregated)
         return outputs, np.argmax(strengths, axis=1)
 
     def infer_batch(
@@ -662,6 +650,4 @@ class CompiledMamdaniEngine(MamdaniEngine):
             name: np.concatenate([chunk[name] for chunk in output_blocks])
             for name in self._rule_base.output_variables
         }
-        return BatchInference(
-            outputs=merged, dominant_indices=np.concatenate(dominant_blocks)
-        )
+        return BatchInference(outputs=merged, dominant_indices=np.concatenate(dominant_blocks))

@@ -13,6 +13,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..registry import Registry
 from .compiled import CompiledMamdaniEngine, CrispInference, RuleCompilationError
 from .defuzzification import DEFAULT_DEFUZZIFIER, Defuzzifier, defuzzifier_by_name
 from .inference import ImplicationMethod, InferenceResult, MamdaniEngine
@@ -21,13 +22,62 @@ from .parser import parse_rules
 from .rules import FuzzyRule, RuleBase
 from .variables import LinguisticVariable
 
-__all__ = ["FuzzyController", "ControllerSpec", "ENGINE_CHOICES"]
+__all__ = [
+    "FuzzyController",
+    "ControllerSpec",
+    "EngineSpec",
+    "ENGINES",
+    "ENGINE_CHOICES",
+]
 
-#: Inference engine selection accepted by :class:`FuzzyController`:
-#: ``"compiled"`` requires the vectorized fast path, ``"reference"`` forces
-#: the interpreted per-rule engine, ``"auto"`` compiles when the rule base
-#: allows it and silently falls back otherwise.
-ENGINE_CHOICES = ("auto", "compiled", "reference")
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered inference-engine mode.
+
+    ``cli`` marks the modes exposed through the CLI's ``--engine`` flag
+    (``"auto"`` is a library-only convenience: the CLI always makes the
+    choice explicit so runs are self-describing).
+    """
+
+    name: str
+    description: str
+    cli: bool = True
+
+
+#: Registry of inference-engine modes accepted by :class:`FuzzyController`
+#: (and, transitively, by ``FACSConfig.engine`` and the CLI ``--engine``
+#: flag) — the single source of truth for the engine *name set* used in
+#: validation, CLI choices and error messages.  Unlike the controller and
+#: executor registries this one is metadata-only: adding a mode also
+#: requires a dispatch branch in ``FuzzyController.__init__``, which raises
+#: on registered-but-undispatched names rather than guessing.
+ENGINES: Registry[EngineSpec] = Registry("engine")
+
+ENGINES.register(
+    "compiled",
+    EngineSpec(
+        "compiled",
+        "vectorized fast path lowered to numpy tensors; requires a "
+        "compilable (pure-conjunction) rule base",
+    ),
+)
+ENGINES.register(
+    "reference",
+    EngineSpec("reference", "interpreted per-rule Mamdani engine"),
+)
+ENGINES.register(
+    "auto",
+    EngineSpec(
+        "auto",
+        "compile when the rule base allows it, silently fall back otherwise",
+        cli=False,
+    ),
+)
+
+#: Engine names (backwards-compatible alias; prefer ``ENGINES.names()``).
+#: Derived from the registry, sorted-stable for existing error messages.
+ENGINE_CHOICES = tuple(sorted(ENGINES))
 
 
 @dataclass(frozen=True)
@@ -110,9 +160,9 @@ class FuzzyController:
                     raise TypeError(
                         "rules must be FuzzyRule objects or rule strings, not a mix"
                     )
-        if engine not in ENGINE_CHOICES:
+        if engine not in ENGINES:
             raise ValueError(
-                f"unknown engine {engine!r}; expected one of {ENGINE_CHOICES}"
+                f"unknown engine {engine!r}; expected one of {tuple(sorted(ENGINES))}"
             )
         self._name = name
         self._rule_base = RuleBase(rule_objs, inputs, outputs, name=f"{name}-rules")
@@ -125,6 +175,11 @@ class FuzzyController:
         if engine == "reference":
             self._engine: MamdaniEngine = MamdaniEngine(self._rule_base, **engine_kwargs)
         else:
+            if engine != "auto" and engine != "compiled":  # pragma: no cover
+                raise ValueError(
+                    f"engine {engine!r} is registered but has no dispatch "
+                    f"branch in FuzzyController"
+                )
             try:
                 self._engine = CompiledMamdaniEngine(self._rule_base, **engine_kwargs)
             except RuleCompilationError:
@@ -201,9 +256,7 @@ class FuzzyController:
             return engine.infer_crisp(inputs)
         result = engine.infer(inputs)
         activations = result.activations
-        dominant = max(
-            range(len(activations)), key=lambda i: activations[i].firing_strength
-        )
+        dominant = max(range(len(activations)), key=lambda i: activations[i].firing_strength)
         return CrispInference(
             outputs=dict(result.outputs),
             dominant_index=dominant,

@@ -209,9 +209,7 @@ class MamdaniEngine:
                 else:
                     clipped = term_surface * strength
                 current = aggregated[consequent.variable]
-                aggregated[consequent.variable] = np.asarray(
-                    self._snorm(current, clipped)
-                )
+                aggregated[consequent.variable] = np.asarray(self._snorm(current, clipped))
                 any_fired[consequent.variable] = True
 
         outputs: dict[str, float] = {}

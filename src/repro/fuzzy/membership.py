@@ -415,9 +415,7 @@ class PiecewiseLinear(MembershipFunction):
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PiecewiseLinear):
             return NotImplemented
-        return np.array_equal(self._xs, other._xs) and np.array_equal(
-            self._mus, other._mus
-        )
+        return np.array_equal(self._xs, other._xs) and np.array_equal(self._mus, other._mus)
 
     def __hash__(self) -> int:
         return hash((tuple(self._xs), tuple(self._mus)))

@@ -116,9 +116,7 @@ class And(Antecedent):
         tnorm: TNorm,
         snorm: SNorm,
     ) -> float:
-        return tnorm.reduce(
-            op.firing_strength(degrees, tnorm, snorm) for op in self.operands
-        )
+        return tnorm.reduce(op.firing_strength(degrees, tnorm, snorm) for op in self.operands)
 
     def variables(self) -> set[str]:
         names: set[str] = set()
@@ -146,9 +144,7 @@ class Or(Antecedent):
         tnorm: TNorm,
         snorm: SNorm,
     ) -> float:
-        return snorm.reduce(
-            op.firing_strength(degrees, tnorm, snorm) for op in self.operands
-        )
+        return snorm.reduce(op.firing_strength(degrees, tnorm, snorm) for op in self.operands)
 
     def variables(self) -> set[str]:
         names: set[str] = set()

@@ -130,9 +130,7 @@ class NetworkExperimentConfig:
 
     def with_arrival_rate(self, arrival_rate_per_cell_per_s: float) -> "NetworkExperimentConfig":
         """Copy of this config with a different per-cell arrival rate."""
-        return replace(
-            self, arrival_rate_per_cell_per_s=arrival_rate_per_cell_per_s
-        )
+        return replace(self, arrival_rate_per_cell_per_s=arrival_rate_per_cell_per_s)
 
     def with_seed(self, seed: int, replication: int = 0) -> "NetworkExperimentConfig":
         """Copy of this config with a different seed/replication index."""

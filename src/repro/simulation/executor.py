@@ -35,6 +35,8 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
+from ..registry import Registry, RegistryError
+
 __all__ = [
     "SweepExecutor",
     "SerialExecutor",
@@ -42,14 +44,17 @@ __all__ = [
     "ThreadPoolSweepExecutor",
     "SweepExecutionError",
     "executor_by_name",
+    "EXECUTORS",
     "EXECUTOR_CHOICES",
 ]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Names accepted by :func:`executor_by_name` (and the CLI ``--executor`` flag).
-EXECUTOR_CHOICES = ("serial", "process", "thread")
+#: Registry of executor backends: name → builder ``(workers) -> SweepExecutor``.
+#: Registration order defines the CLI ``--executor`` choices; aliases
+#: ("parallel", "threads") resolve but stay out of the choices list.
+EXECUTORS: Registry[Callable[[int | None], "SweepExecutor"]] = Registry("executor")
 
 
 class SweepExecutionError(RuntimeError):
@@ -165,19 +170,39 @@ class ThreadPoolSweepExecutor(SweepExecutor):
             return list(pool.map(fn, tasks))
 
 
+@EXECUTORS.register("serial")
+def _build_serial(workers: int | None = None) -> SweepExecutor:
+    return SerialExecutor()
+
+
+@EXECUTORS.register("process", aliases=("parallel",))
+def _build_process(workers: int | None = None) -> SweepExecutor:
+    return ProcessPoolSweepExecutor(max_workers=workers)
+
+
+@EXECUTORS.register("thread", aliases=("threads",))
+def _build_thread(workers: int | None = None) -> SweepExecutor:
+    return ThreadPoolSweepExecutor(max_workers=workers)
+
+
+#: Import-time snapshot of the registered executor names, kept as a tuple
+#: for backwards compatibility.  Live consumers (the CLI ``--executor``
+#: choices, error messages) should read ``EXECUTORS.names()`` instead so
+#: executors registered later are picked up.
+EXECUTOR_CHOICES = EXECUTORS.names()
+
+
 def executor_by_name(name: str, workers: int | None = None) -> SweepExecutor:
     """Build an executor from its registered name.
 
     ``"serial"`` ignores ``workers``; ``"process"`` (alias ``"parallel"``)
-    and ``"thread"`` forward it as the pool size.
+    and ``"thread"`` (alias ``"threads"``) forward it as the pool size.
     """
     key = name.strip().lower()
-    if key == "serial":
-        return SerialExecutor()
-    if key in ("process", "parallel"):
-        return ProcessPoolSweepExecutor(max_workers=workers)
-    if key in ("thread", "threads"):
-        return ThreadPoolSweepExecutor(max_workers=workers)
-    raise ValueError(
-        f"unknown executor {name!r}; available: {sorted(EXECUTOR_CHOICES)}"
-    )
+    try:
+        builder = EXECUTORS.get(key)
+    except RegistryError:
+        raise ValueError(
+            f"unknown executor {name!r}; available: {sorted(EXECUTORS.names())}"
+        ) from None
+    return builder(workers)

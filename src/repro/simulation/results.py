@@ -138,9 +138,7 @@ def aggregate_network_runs(
         std_acceptance_percentage=math.sqrt(variance),
         mean_blocking_probability=sum(r.blocking_probability for r in runs) / count,
         mean_dropping_probability=sum(r.dropping_probability for r in runs) / count,
-        mean_handoff_failure_ratio=(
-            sum(o.handoff_failure_ratio for o in outputs) / count
-        ),
+        mean_handoff_failure_ratio=(sum(o.handoff_failure_ratio for o in outputs) / count),
         mean_handoff_attempts=sum(o.handoff_attempts for o in outputs) / count,
         mean_occupancy_bu=sum(o.time_average_occupancy_bu for o in outputs) / count,
     )

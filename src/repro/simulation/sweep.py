@@ -233,9 +233,7 @@ def run_acceptance_sweep(
                     replications=aggregated.replications,
                 )
             )
-        curves.append(
-            SweepCurve(label=label, controller=controller_name, points=tuple(points))
-        )
+        curves.append(SweepCurve(label=label, controller=controller_name, points=tuple(points)))
     return SweepResult(name=name, curves=tuple(curves))
 
 
@@ -258,9 +256,7 @@ class NetworkSweepSpec:
     controllers: Mapping[str, ControllerFactory]
     arrival_rates: Sequence[float] = PAPER_NETWORK_ARRIVAL_RATES
     replications: int = 5
-    base_config: NetworkExperimentConfig = field(
-        default_factory=NetworkExperimentConfig
-    )
+    base_config: NetworkExperimentConfig = field(default_factory=NetworkExperimentConfig)
 
     def __post_init__(self) -> None:
         if not self.controllers:
@@ -440,8 +436,6 @@ def run_network_sweep(
                 )
             )
         curves.append(
-            NetworkSweepCurve(
-                label=label, controller=controller_name, points=tuple(points)
-            )
+            NetworkSweepCurve(label=label, controller=controller_name, points=tuple(points))
         )
     return NetworkSweepResult(name=spec.name, curves=tuple(curves))

@@ -5,11 +5,28 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.io import read_sweep_csv, sweep_to_rows, write_sweep_csv
+from repro.analysis.io import (
+    network_sweep_result_from_dict,
+    network_sweep_result_to_dict,
+    read_result_json,
+    read_sweep_csv,
+    sweep_result_from_dict,
+    sweep_result_to_dict,
+    sweep_to_rows,
+    write_result_json,
+    write_sweep_csv,
+)
 from repro.analysis.plotting import ascii_line_plot, ascii_membership_plot
 from repro.analysis.stats import paired_difference, summarize, t_confidence_interval
 from repro.analysis.tables import format_curve_table, format_table
-from repro.simulation.sweep import SweepCurve, SweepPoint, SweepResult
+from repro.simulation.sweep import (
+    NetworkSweepCurve,
+    NetworkSweepPoint,
+    NetworkSweepResult,
+    SweepCurve,
+    SweepPoint,
+    SweepResult,
+)
 
 
 class TestStats:
@@ -176,3 +193,60 @@ class TestCsvRoundtrip:
         )
         with pytest.raises(ValueError):
             read_sweep_csv(empty)
+
+
+def _network_sweep() -> NetworkSweepResult:
+    points = tuple(
+        NetworkSweepPoint(
+            arrival_rate_per_cell_per_s=rate,
+            acceptance_percentage=90.0 - 100 * rate,
+            std_percentage=0.5,
+            blocking_probability=rate,
+            dropping_probability=rate / 2,
+            handoff_failure_ratio=rate / 4,
+            mean_occupancy_bu=20.0 + rate,
+            replications=2,
+        )
+        for rate in (0.02, 0.04)
+    )
+    return NetworkSweepResult(
+        name="demo-network-sweep",
+        curves=(
+            NetworkSweepCurve(label="FACS", controller="FACS", points=points),
+            NetworkSweepCurve(label="CS", controller="CS", points=points),
+        ),
+    )
+
+
+class TestJsonCodecs:
+    def test_sweep_dict_round_trip_is_lossless(self):
+        sweep = _sweep()
+        restored = sweep_result_from_dict(sweep_result_to_dict(sweep))
+        assert restored == sweep
+
+    def test_network_sweep_dict_round_trip_is_lossless(self):
+        result = _network_sweep()
+        restored = network_sweep_result_from_dict(network_sweep_result_to_dict(result))
+        assert restored == result
+
+    def test_type_discriminators_are_checked(self):
+        with pytest.raises(ValueError, match="expected"):
+            sweep_result_from_dict(network_sweep_result_to_dict(_network_sweep()))
+        with pytest.raises(ValueError, match="expected"):
+            network_sweep_result_from_dict(sweep_result_to_dict(_sweep()))
+
+    def test_write_read_json_round_trip_both_families(self, tmp_path):
+        sweep_path = write_result_json(_sweep(), tmp_path / "sweep.json")
+        network_path = write_result_json(_network_sweep(), tmp_path / "net.json")
+        assert read_result_json(sweep_path) == _sweep()
+        assert read_result_json(network_path) == _network_sweep()
+
+    def test_write_rejects_foreign_objects(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_result_json({"not": "a result"}, tmp_path / "x.json")
+
+    def test_read_rejects_unknown_payload_type(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text('{"type": "weird"}')
+        with pytest.raises(ValueError, match="unknown result payload"):
+            read_result_json(path)

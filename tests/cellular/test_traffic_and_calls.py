@@ -58,9 +58,7 @@ class TestTrafficMix:
 
     def test_key_spec_mismatch_rejected(self):
         with pytest.raises(ValueError, match="does not match"):
-            TrafficMix(
-                {ServiceClass.TEXT: TrafficClassSpec(ServiceClass.VOICE, 5, 1.0)}
-            )
+            TrafficMix({ServiceClass.TEXT: TrafficClassSpec(ServiceClass.VOICE, 5, 1.0)})
 
     def test_empty_mix_rejected(self):
         with pytest.raises(ValueError):

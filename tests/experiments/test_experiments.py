@@ -175,9 +175,7 @@ class TestAblations:
         assert set(sweep.labels()) == {"centroid", "mom"}
 
     def test_threshold_ablation_monotone(self):
-        sweep = threshold_ablation(
-            thresholds=(-0.25, 0.5), request_counts=(60,), replications=3
-        )
+        sweep = threshold_ablation(thresholds=(-0.25, 0.5), request_counts=(60,), replications=3)
         lenient = sweep.curve("threshold=-0.25").mean_acceptance()
         strict = sweep.curve("threshold=+0.50").mean_acceptance()
         assert lenient >= strict

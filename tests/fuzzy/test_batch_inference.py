@@ -58,9 +58,7 @@ class TestInferBatchBitIdentity:
         batch = engine.infer_batch(matrix)
         order = engine.input_order
         for var in engine.rule_base.output_variables:
-            scalar = np.array(
-                [engine.infer(dict(zip(order, row)))[var] for row in matrix]
-            )
+            scalar = np.array([engine.infer(dict(zip(order, row)))[var] for row in matrix])
             assert np.array_equal(batch.outputs[var], scalar)
 
     def test_matches_infer_crisp(self, flc):
@@ -81,9 +79,7 @@ class TestInferBatchBitIdentity:
         compiled_batch = compiled.engine.infer_batch(matrix)
         reference_batch = reference.engine.infer_batch(matrix)
         for var in compiled.engine.rule_base.output_variables:
-            assert np.array_equal(
-                compiled_batch.outputs[var], reference_batch.outputs[var]
-            )
+            assert np.array_equal(compiled_batch.outputs[var], reference_batch.outputs[var])
 
     def test_boundary_inputs(self, flc):
         compiled, _ = _controllers(flc)
@@ -92,9 +88,7 @@ class TestInferBatchBitIdentity:
         batch = engine.infer_batch(matrix)
         order = engine.input_order
         for var in engine.rule_base.output_variables:
-            scalar = np.array(
-                [engine.infer(dict(zip(order, row)))[var] for row in matrix]
-            )
+            scalar = np.array([engine.infer(dict(zip(order, row)))[var] for row in matrix])
             assert np.array_equal(batch.outputs[var], scalar)
 
     def test_mapping_inputs_equal_matrix_inputs(self, flc):
@@ -156,9 +150,7 @@ class TestTensorizedControlSurface:
         low, high = input_vars[pin_var].universe
         fixed = {pin_var: (low + high) / 2.0}
         output = next(iter(engine.rule_base.output_variables))
-        xs, ys, surface = engine.control_surface(
-            x_var, y_var, output, fixed=fixed, resolution=13
-        )
+        xs, ys, surface = engine.control_surface(x_var, y_var, output, fixed=fixed, resolution=13)
         assert surface.shape == (13, 13)
         for i, y in enumerate(ys):
             for j, x in enumerate(xs):

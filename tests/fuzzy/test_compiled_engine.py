@@ -158,12 +158,8 @@ class TestPaperOperatingPoints:
             assert got.rule is want.rule
             assert got.firing_strength == want.firing_strength
         for name in expected.aggregated:
-            np.testing.assert_array_equal(
-                actual.aggregated[name], expected.aggregated[name]
-            )
-        assert (
-            actual.dominant_rule().rule.label == expected.dominant_rule().rule.label
-        )
+            np.testing.assert_array_equal(actual.aggregated[name], expected.aggregated[name])
+        assert (actual.dominant_rule().rule.label == expected.dominant_rule().rule.label)
 
     def test_dominant_rule_matches_crisp_path(self, engines1):
         reference, compiled = engines1
@@ -192,9 +188,7 @@ class TestOperatorFamilies:
     )
     def test_flc2_operator_families(self, rb2, tnorm, snorm, implication):
         reference = MamdaniEngine(rb2, tnorm=tnorm, snorm=snorm, implication=implication)
-        compiled = CompiledMamdaniEngine(
-            rb2, tnorm=tnorm, snorm=snorm, implication=implication
-        )
+        compiled = CompiledMamdaniEngine(rb2, tnorm=tnorm, snorm=snorm, implication=implication)
         rng = np.random.default_rng(11)
         for _ in range(40):
             inputs = {

@@ -36,9 +36,7 @@ COMMON = settings(
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
 
-finite = st.floats(
-    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
-)
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
 unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
 
 
@@ -98,9 +96,7 @@ class TestDefuzzifiedOutputInsideUniverse:
         request_bu=st.floats(min_value=-2.0, max_value=12.0),
         counter=st.floats(min_value=-5.0, max_value=45.0),
     )
-    def test_flc2_output_inside_decision_universe(
-        self, correction, request_bu, counter
-    ):
+    def test_flc2_output_inside_decision_universe(self, correction, request_bu, counter):
         low, high = DEFAULT_FLC2_CONFIG.decision_universe
         inputs = {"Cv": correction, "R": request_bu, "Cs": counter}
         for engine in (_REFERENCE2, _COMPILED2):

@@ -294,6 +294,4 @@ class TestBatchDeterminism:
     def test_stream_master_seed_mixes_replication(self):
         config = BatchExperimentConfig(seed=100, replication=0)
         assert config.stream_master_seed == 100
-        assert config.with_seed(100, replication=2).stream_master_seed == (
-            100 + 2 * 1_000_003
-        )
+        assert config.with_seed(100, replication=2).stream_master_seed == (100 + 2 * 1_000_003)

@@ -56,9 +56,7 @@ def test_decisions_partition_requests(label, request_count, seed):
 )
 @_slow_settings
 def test_station_never_over_allocated(label, request_count, seed, capacity):
-    config = BatchExperimentConfig(
-        request_count=request_count, seed=seed, capacity_bu=capacity
-    )
+    config = BatchExperimentConfig(request_count=request_count, seed=seed, capacity_bu=capacity)
     output = run_batch_experiment(config, CONTROLLER_FACTORIES[label], collect_trace=True)
     assert output.peak_occupancy_bu <= capacity
     for record in output.records:

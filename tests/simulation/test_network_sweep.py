@@ -158,9 +158,7 @@ class TestNetworkSweepDeterminism:
         assert pickle.dumps(threaded) == pickle.dumps(serial_sweep)
 
     def test_default_executor_is_serial(self, serial_sweep):
-        assert pickle.dumps(run_network_sweep(_mini_spec())) == pickle.dumps(
-            serial_sweep
-        )
+        assert pickle.dumps(run_network_sweep(_mini_spec())) == pickle.dumps(serial_sweep)
 
     def test_executor_accepted_by_name(self, serial_sweep):
         named = run_network_sweep(_mini_spec(), executor="thread")

@@ -80,9 +80,7 @@ class TestEndToEnd:
         first, second = outputs
         assert first.acceptance_percentage == second.acceptance_percentage
         assert [r.accepted for r in first.records] == [r.accepted for r in second.records]
-        assert [r.score for r in first.records] == pytest.approx(
-            [r.score for r in second.records]
-        )
+        assert [r.score for r in first.records] == pytest.approx([r.score for r in second.records])
 
 
 class TestRepositoryInventory:
