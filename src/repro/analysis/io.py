@@ -1,9 +1,27 @@
-"""CSV and JSON export/import of sweep results.
+"""CSV and JSON export/import of sweep results, plus payload schema versioning.
 
 The CSV functions are the historical flat export of the acceptance sweeps.
 The ``*_to_dict``/``*_from_dict`` pairs are the lossless JSON codecs the
 unified scenario API (:mod:`repro.api`) uses for the machine-readable
 ``metrics`` half of every :class:`~repro.api.RunReport`.
+
+This module is also the home of the *schema version* machinery shared by
+every serialized API payload (``Scenario``, ``RunReport``, ``Campaign``,
+``CampaignReport``): :data:`SCHEMA_VERSION` is the version new payloads are
+stamped with, :func:`versioned_payload` stamps it, and
+:func:`migrate_payload` upgrades older payloads on read — explicitly, one
+version step at a time — while rejecting versions this build does not know
+with a loud :class:`PayloadVersionError`.
+
+Versioning policy
+-----------------
+* **v0** — the pre-versioning payloads of the first Scenario/Runner API
+  (no ``schema_version`` key).  Still readable: the v0→v1 migration is the
+  identity, because v1 only *added* the stamp.
+* **v1** — current.  Every payload carries ``schema_version: 1``.
+* Future breaking field changes must bump :data:`SCHEMA_VERSION` and add a
+  migration step to :data:`_MIGRATIONS`; decoding a payload newer than the
+  running build always fails loudly rather than guessing.
 """
 
 from __future__ import annotations
@@ -11,6 +29,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
+from typing import Any, Callable, Mapping
 
 from ..simulation.sweep import (
     NetworkSweepCurve,
@@ -22,6 +41,11 @@ from ..simulation.sweep import (
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "PayloadVersionError",
+    "versioned_payload",
+    "migrate_payload",
+    "write_guarded_json",
     "sweep_to_rows",
     "write_sweep_csv",
     "read_sweep_csv",
@@ -32,6 +56,93 @@ __all__ = [
     "write_result_json",
     "read_result_json",
 ]
+
+# ----------------------------------------------------------------------
+# Payload schema versioning
+# ----------------------------------------------------------------------
+#: Version stamped into every newly serialized API payload.
+SCHEMA_VERSION = 1
+
+
+class PayloadVersionError(ValueError):
+    """Raised when a payload's ``schema_version`` cannot be handled."""
+
+
+def versioned_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Return ``payload`` with the current ``schema_version`` stamped first."""
+    return {"schema_version": SCHEMA_VERSION, **payload}
+
+
+def _migrate_v0_to_v1(payload: dict[str, Any]) -> dict[str, Any]:
+    """v0 → v1: the identity — v1 only added the ``schema_version`` stamp."""
+    return payload
+
+
+#: Migration steps: version ``n`` → the function upgrading ``n`` to ``n+1``.
+_MIGRATIONS: dict[int, Callable[[dict[str, Any]], dict[str, Any]]] = {
+    0: _migrate_v0_to_v1,
+}
+
+
+def migrate_payload(payload: Mapping[str, Any], what: str) -> dict[str, Any]:
+    """Upgrade a payload to the current schema, dropping the version key.
+
+    A payload without a ``schema_version`` key is treated as **v0** (the
+    pre-versioning format).  Versions newer than :data:`SCHEMA_VERSION`,
+    negative versions and non-integer versions raise
+    :class:`PayloadVersionError` naming the payload and the versions this
+    build can read — never a silent best-effort parse.
+    """
+    data = dict(payload)
+    version = data.pop("schema_version", 0)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise PayloadVersionError(
+            f"{what} schema_version must be an integer, got {version!r}"
+        )
+    if version < 0 or version > SCHEMA_VERSION:
+        raise PayloadVersionError(
+            f"unknown {what} schema_version {version}; this build reads "
+            f"versions 0..{SCHEMA_VERSION} (0 = pre-versioning payloads). "
+            f"Upgrade the package to read newer payloads."
+        )
+    for step in range(version, SCHEMA_VERSION):
+        data = _MIGRATIONS[step](data)
+    return data
+
+
+def write_guarded_json(
+    target: Path,
+    payload_text: str,
+    holds_same_spec: Callable[[dict], bool],
+    error_cls: type[Exception],
+    what: str,
+) -> Path:
+    """Write ``payload_text`` to ``target``, refusing to clobber foreign files.
+
+    Re-saving over a file whose embedded spec satisfies
+    ``holds_same_spec`` overwrites (runs are deterministic); anything else
+    at the target — a different spec, unparsable JSON, a non-report —
+    raises ``error_cls`` instead of being silently replaced.  Shared by
+    :meth:`repro.api.RunReport.save` and
+    :meth:`repro.api.CampaignReport.save`.
+    """
+    if target.exists():
+        try:
+            existing = json.loads(target.read_text())
+            same = holds_same_spec(existing)
+        except (OSError, ValueError, KeyError, TypeError):
+            # ValueError covers JSONDecodeError and the decode errors of
+            # the embedded spec (ScenarioError/CampaignError subclass it).
+            same = False
+        if not same:
+            raise error_cls(
+                f"refusing to overwrite {target}: it does not hold a "
+                f"report of this {what} (delete it or save elsewhere)"
+            )
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(payload_text)
+    return target
+
 
 #: ``type`` discriminators stamped into the JSON payloads.
 _SWEEP_TYPE = "acceptance-sweep"

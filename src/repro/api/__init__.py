@@ -23,17 +23,40 @@ config file and run headless::
 
     python -m repro run --config scenario.json --format json --save results
 
+Families of scenarios are first-class too: a :class:`Campaign` bundles
+ordered member scenarios with shared overrides and a comparison spec, and
+:class:`CampaignRunner` fans the members over one shared executor pool
+into a :class:`CampaignReport` (per-member reports + cross-scenario
+comparison tables)::
+
+    python -m repro campaign --config examples/campaigns/fig7-fig10-study.json
+
+All payloads are schema-versioned (see ``docs/SCHEMA.md``): codecs stamp
+:data:`SCHEMA_VERSION`, migrate older versions explicitly and reject
+unknown ones loudly.
+
 Extension points are string-keyed registries (see
 :mod:`repro.api.registry`): :data:`CONTROLLERS` for admission controllers,
-:data:`SCENARIOS` for experiment defaults, plus the engine and executor
-registries re-exported here.  Registering a controller makes it
-addressable from scenario JSON immediately — per-cell sharding backends
-and trace-driven workloads plug in the same way.
+:data:`SCENARIOS` for experiment defaults, :data:`COMPARISON_METRICS` for
+cross-scenario comparison columns, plus the engine and executor registries
+re-exported here.  Registering a controller makes it addressable from
+scenario JSON immediately — the per-cell sharded sweep and the
+trace-driven workload kinds plug in through the same seams.
 """
 
+from ..analysis.io import SCHEMA_VERSION, PayloadVersionError
 from ..fuzzy.controller import ENGINES, EngineSpec
 from ..registry import Registry, RegistryError
 from ..simulation.executor import EXECUTORS
+from .campaign import (
+    Campaign,
+    CampaignError,
+    CampaignMember,
+    CampaignReport,
+    CampaignRunner,
+    ComparisonSpec,
+    run_campaign,
+)
 from .registry import (
     ABLATIONS,
     ARTIFACTS,
@@ -51,6 +74,7 @@ from .registry import (
     scenario_for,
     scenario_ids,
 )
+from .report import COMPARISON_METRICS, build_comparison, comparison_metric
 from .runner import Runner, RunReport, register_runner, run
 from .scenario import (
     SCENARIO_KINDS,
@@ -61,7 +85,9 @@ from .scenario import (
     NetworkSweepScenario,
     Scenario,
     ScenarioError,
+    ShardedNetworkSweepScenario,
     SurfaceScenario,
+    TraceArrivalsScenario,
     scenario_kind,
 )
 
@@ -71,6 +97,20 @@ __all__ = [
     "RunReport",
     "run",
     "register_runner",
+    # campaigns
+    "Campaign",
+    "CampaignError",
+    "CampaignMember",
+    "CampaignReport",
+    "CampaignRunner",
+    "ComparisonSpec",
+    "run_campaign",
+    "COMPARISON_METRICS",
+    "comparison_metric",
+    "build_comparison",
+    # schema versioning
+    "SCHEMA_VERSION",
+    "PayloadVersionError",
     # scenarios
     "Scenario",
     "ScenarioError",
@@ -78,8 +118,10 @@ __all__ = [
     "SurfaceScenario",
     "FigureSweepScenario",
     "NetworkSweepScenario",
+    "ShardedNetworkSweepScenario",
     "AblationScenario",
     "NetworkIntegrationScenario",
+    "TraceArrivalsScenario",
     "SCENARIO_KINDS",
     "scenario_kind",
     # registries

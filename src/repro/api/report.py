@@ -1,0 +1,180 @@
+"""Cross-scenario comparison reports.
+
+A campaign runs heterogeneous scenarios — figure sweeps, network sweeps,
+traces — whose ``RunReport.metrics`` payloads all differ in shape.  The
+comparison layer flattens them onto one table: a *comparison metric* is a
+named extractor that maps a metrics payload to ``{curve label: value}``
+(or ``None`` when the metric does not apply to that payload type), and
+:func:`build_comparison` tabulates the requested metrics across every
+(scenario, curve) pair of a campaign via :mod:`repro.analysis.tables`.
+
+Metrics live in the :data:`COMPARISON_METRICS` registry, so domain-specific
+comparisons plug in the same way controllers and scenarios do:
+
+>>> from repro.api import comparison_metric
+>>> @comparison_metric("p95_acceptance")
+... def _p95(metrics):
+...     ...
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+from ..analysis.tables import format_table
+from ..registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import RunReport
+
+__all__ = [
+    "COMPARISON_METRICS",
+    "comparison_metric",
+    "build_comparison",
+]
+
+#: Extractor signature: metrics payload → ``{curve label: value}`` or
+#: ``None`` when the metric does not apply to that payload type.
+MetricExtractor = Callable[[Mapping[str, Any]], "dict[str, float] | None"]
+
+COMPARISON_METRICS: Registry[MetricExtractor] = Registry("comparison metric")
+
+
+def comparison_metric(name: str, *, replace: bool = False):
+    """Decorator registering a comparison-metric extractor under ``name``."""
+    return COMPARISON_METRICS.register(name, replace=replace)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _per_curve(
+    metrics: Mapping[str, Any],
+    point_field: str,
+    reduce: Callable[[Sequence[float]], float],
+) -> dict[str, float]:
+    """Reduce one point field of a curve-family payload, curve by curve."""
+    return {
+        curve["label"]: reduce([point[point_field] for point in curve["points"]])
+        for curve in metrics["curves"]
+    }
+
+
+def _per_controller(metrics: Mapping[str, Any], field: str) -> dict[str, float]:
+    """One value per controller of a network-integration payload."""
+    return {
+        name: numbers[field] for name, numbers in metrics["controllers"].items()
+    }
+
+
+def _acceptance(
+    metrics: Mapping[str, Any], reduce: Callable[[Sequence[float]], float]
+) -> dict[str, float] | None:
+    kind = metrics.get("type")
+    if kind in ("acceptance-sweep", "network-sweep"):
+        return _per_curve(metrics, "acceptance_percentage", reduce)
+    if kind == "network-integration":
+        return _per_controller(metrics, "acceptance_percentage")
+    if kind == "trace-arrivals":
+        return {metrics["controller"]: metrics["acceptance_percentage"]}
+    return None
+
+
+@comparison_metric("mean_acceptance")
+def _mean_acceptance(metrics: Mapping[str, Any]) -> dict[str, float] | None:
+    """Acceptance percentage averaged over a curve's whole x axis."""
+    return _acceptance(metrics, _mean)
+
+
+@comparison_metric("final_acceptance")
+def _final_acceptance(metrics: Mapping[str, Any]) -> dict[str, float] | None:
+    """Acceptance percentage at the heaviest load point (last x value)."""
+    return _acceptance(metrics, lambda series: series[-1])
+
+
+def _network_quality(
+    metrics: Mapping[str, Any], point_field: str, scalar_field: str
+) -> dict[str, float] | None:
+    kind = metrics.get("type")
+    if kind == "network-sweep":
+        return _per_curve(metrics, point_field, _mean)
+    if kind == "network-integration":
+        return _per_controller(metrics, scalar_field)
+    return None
+
+
+@comparison_metric("mean_blocking")
+def _mean_blocking(metrics: Mapping[str, Any]) -> dict[str, float] | None:
+    """Mean new-call blocking probability (network scenarios only)."""
+    return _network_quality(metrics, "blocking_probability", "blocking_probability")
+
+
+@comparison_metric("mean_dropping")
+def _mean_dropping(metrics: Mapping[str, Any]) -> dict[str, float] | None:
+    """Mean admitted-call dropping probability (network scenarios only)."""
+    return _network_quality(metrics, "dropping_probability", "dropping_probability")
+
+
+@comparison_metric("mean_handoff_failure")
+def _mean_handoff_failure(metrics: Mapping[str, Any]) -> dict[str, float] | None:
+    """Mean handoff failure ratio (network scenarios only)."""
+    return _network_quality(metrics, "handoff_failure_ratio", "handoff_failure_ratio")
+
+
+def build_comparison(
+    member_ids: Sequence[str],
+    reports: Sequence["RunReport"],
+    metrics: Sequence[str],
+) -> tuple[str, dict[str, Any]]:
+    """Tabulate ``metrics`` across every (scenario, curve) of a campaign.
+
+    Returns the rendered ASCII table and its machine-readable counterpart.
+    A scenario a metric does not apply to shows ``-`` in the table and
+    ``null`` in the payload — scenarios are never silently dropped from
+    the comparison.
+    """
+    rows_payload: list[dict[str, Any]] = []
+    table_rows: list[list[object]] = []
+    for member_id, report in zip(member_ids, reports):
+        extracted = {
+            name: COMPARISON_METRICS.get(name)(report.metrics) for name in metrics
+        }
+        labels: list[str] = []
+        for name in metrics:
+            for label in extracted[name] or ():
+                if label not in labels:
+                    labels.append(label)
+        if not labels:
+            rows_payload.append(
+                {
+                    "scenario": member_id,
+                    "curve": None,
+                    "values": {name: None for name in metrics},
+                }
+            )
+            table_rows.append([member_id, "-", *["-" for _ in metrics]])
+            continue
+        for label in labels:
+            values = {
+                name: (extracted[name] or {}).get(label) for name in metrics
+            }
+            rows_payload.append(
+                {"scenario": member_id, "curve": label, "values": values}
+            )
+            table_rows.append(
+                [
+                    member_id,
+                    label,
+                    *[
+                        value if value is not None else "-"
+                        for value in values.values()
+                    ],
+                ]
+            )
+    text = format_table(
+        ["Scenario", "Curve", *metrics],
+        table_rows,
+        title="Cross-scenario comparison",
+    )
+    return text, {"metrics": list(metrics), "rows": rows_payload}

@@ -10,25 +10,47 @@ record.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
-from ..analysis.io import network_sweep_result_to_dict, sweep_result_to_dict
+from ..analysis.io import (
+    PayloadVersionError,
+    migrate_payload,
+    network_sweep_result_to_dict,
+    sweep_result_to_dict,
+    versioned_payload,
+    write_guarded_json,
+)
 from ..analysis.plotting import ascii_line_plot
 from ..analysis.tables import format_curve_table, format_table
 from ..cac.facs.system import FACSConfig
+from ..cellular.mobility import UserProfile
+from ..cellular.network import hex_cell_count
 from ..experiments.network_sweep import (
     DEFAULT_NETWORK_BASE_CONFIG,
     network_sweep_spec,
     render_network_sweep,
 )
-from ..simulation.config import NetworkExperimentConfig
+from ..simulation.config import BatchExperimentConfig, NetworkExperimentConfig
 from ..simulation.engine import NetworkRunOutput, run_network_experiment
 from ..simulation.executor import SweepExecutor, executor_by_name
-from ..simulation.sweep import SweepResult, run_network_sweep
-from .registry import ABLATIONS, ARTIFACTS, FIGURES, SURFACES, controller_factory
+from ..simulation.sweep import (
+    SweepResult,
+    run_network_sweep,
+    run_sharded_network_sweep,
+)
+from ..simulation.trace import TraceRunResult, run_trace_arrivals
+from .registry import (
+    ABLATIONS,
+    ARTIFACTS,
+    FIGURES,
+    SCENARIOS,
+    SURFACES,
+    controller_factory,
+)
 from .scenario import (
     AblationScenario,
     ArtifactScenario,
@@ -37,7 +59,9 @@ from .scenario import (
     NetworkSweepScenario,
     Scenario,
     ScenarioError,
+    ShardedNetworkSweepScenario,
     SurfaceScenario,
+    TraceArrivalsScenario,
 )
 
 __all__ = ["Runner", "RunReport", "run", "register_runner"]
@@ -58,34 +82,105 @@ class RunReport:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
-            "scenario": self.scenario.to_dict(),
-            "metrics": dict(self.metrics),
-            "text": self.text,
-        }
+        return versioned_payload(
+            {
+                "scenario": self.scenario.to_dict(),
+                "metrics": dict(self.metrics),
+                "text": self.text,
+            }
+        )
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
+    @property
+    def stem(self) -> str:
+        """Deterministic filename stem of this report.
+
+        The registered default scenario of a slug keeps the plain slug
+        (``fig7-speed.json``); any other parameterization appends a digest
+        of its canonical scenario JSON (``fig7-speed-1a2b3c4d5e.json``), so
+        two scenarios differing only in parameters can never map to the
+        same file.  Execution-backend fields (executor/workers) are
+        normalized out first — results are backend-independent, so runs of
+        one experiment map to one file regardless of how they executed.
+        """
+        normalized = _execution_normalized(self.scenario)
+        slug = normalized.slug
+        for experiment_id in SCENARIOS.names():
+            if SCENARIOS.get(experiment_id)() == normalized:
+                return slug
+        digest = hashlib.sha256(
+            normalized.to_json(indent=None).encode()
+        ).hexdigest()[:10]
+        return f"{slug}-{digest}"
+
     def save(self, directory: str | Path) -> Path:
-        """Persist the report as ``<directory>/<scenario slug>.json``."""
-        target = Path(directory) / f"{self.scenario.slug}.json"
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(self.to_json() + "\n")
-        return target
+        """Persist the report as ``<directory>/<stem>.json``.
+
+        Re-saving the same scenario's report overwrites (runs are
+        deterministic, and the execution backend is not part of a
+        scenario's identity); a target file holding anything else raises
+        :class:`ScenarioError` instead of silently clobbering it.
+        """
+        mine = _execution_normalized(self.scenario)
+        return write_guarded_json(
+            Path(directory) / f"{self.stem}.json",
+            self.to_json() + "\n",
+            lambda existing: (
+                _execution_normalized(Scenario.from_dict(existing["scenario"])) == mine
+            ),
+            ScenarioError,
+            "scenario",
+        )
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any], source: str = "payload") -> "RunReport":
+        """Decode a report payload, migrating older schema versions."""
+        if not isinstance(payload, Mapping):
+            raise ScenarioError(
+                f"run report {source} must be a mapping, "
+                f"got {type(payload).__name__}"
+            )
+        try:
+            data = migrate_payload(payload, "run report")
+        except PayloadVersionError as exc:
+            raise ScenarioError(f"run report {source}: {exc}") from None
+        try:
+            return RunReport(
+                scenario=Scenario.from_dict(data["scenario"]),
+                text=data["text"],
+                metrics=data["metrics"],
+            )
+        except KeyError as exc:
+            raise ScenarioError(
+                f"run report {source} is missing key {exc}"
+            ) from None
 
     @staticmethod
     def load(path: str | Path) -> "RunReport":
         """Rebuild a report previously written by :meth:`save`."""
-        payload = json.loads(Path(path).read_text())
         try:
-            return RunReport(
-                scenario=Scenario.from_dict(payload["scenario"]),
-                text=payload["text"],
-                metrics=payload["metrics"],
-            )
-        except KeyError as exc:
-            raise ScenarioError(f"report {path} is missing key {exc}") from None
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"report {path} is not valid JSON: {exc}") from exc
+        return RunReport.from_dict(payload, source=str(path))
+
+
+def _execution_normalized(scenario: Scenario) -> Scenario:
+    """Copy of ``scenario`` with execution-backend fields reset.
+
+    Results are byte-identical for every backend and worker count, so the
+    executor/workers fields shape *how* a scenario runs, never *what* it
+    produces — filename identity and overwrite guards ignore them.
+    """
+    names = {spec.name for spec in fields(scenario)}
+    updates: dict[str, Any] = {}
+    if "executor" in names:
+        updates["executor"] = "serial"
+    if "workers" in names:
+        updates["workers"] = None
+    return replace(scenario, **updates) if updates else scenario
 
 
 Handler = Callable[[Scenario], tuple[str, dict[str, Any]]]
@@ -205,8 +300,8 @@ def _run_figure_sweep(scenario: FigureSweepScenario) -> tuple[str, dict[str, Any
     return definition.render(result), sweep_result_to_dict(result)
 
 
-@_handles(NetworkSweepScenario)
-def _run_network_sweep(scenario: NetworkSweepScenario) -> tuple[str, dict[str, Any]]:
+def _network_sweep_spec_for(scenario: NetworkSweepScenario):
+    """Shared spec construction of the coupled and sharded network sweeps."""
     controllers = {
         name: controller_factory(name, engine=scenario.engine)
         for name in scenario.controllers
@@ -219,13 +314,27 @@ def _run_network_sweep(scenario: NetworkSweepScenario) -> tuple[str, dict[str, A
         mean_speed_kmh=scenario.mean_speed_kmh,
         seed=scenario.seed,
     )
-    spec = network_sweep_spec(
+    return network_sweep_spec(
         arrival_rates=scenario.arrival_rates,
         replications=scenario.replications,
         base_config=base_config,
         controllers=controllers,
     )
+
+
+@_handles(NetworkSweepScenario)
+def _run_network_sweep(scenario: NetworkSweepScenario) -> tuple[str, dict[str, Any]]:
+    spec = _network_sweep_spec_for(scenario)
     result = run_network_sweep(spec, executor=_build_executor(scenario))
+    return render_network_sweep(result), network_sweep_result_to_dict(result)
+
+
+@_handles(ShardedNetworkSweepScenario)
+def _run_sharded_network_sweep(
+    scenario: ShardedNetworkSweepScenario,
+) -> tuple[str, dict[str, Any]]:
+    spec = _network_sweep_spec_for(scenario)
+    result = run_sharded_network_sweep(spec, executor=_build_executor(scenario))
     return render_network_sweep(result), network_sweep_result_to_dict(result)
 
 
@@ -319,10 +428,79 @@ def _run_network_integration(
         ],
         rows,
         title=(
-            f"{3 * scenario.rings * (scenario.rings + 1) + 1}-cell network, "
+            f"{hex_cell_count(scenario.rings)}-cell network, "
             f"{scenario.duration_s:.0f}s of Poisson arrivals, "
             f"Gauss-Markov mobility"
         ),
     )
     metrics = {"type": "network-integration", "controllers": per_controller}
     return text, metrics
+
+
+def _render_trace_arrivals(result: TraceRunResult) -> str:
+    """Per-batch table plus a one-line summary for the trace pipeline."""
+    rows = [
+        [
+            record.index,
+            f"{record.start_time_s:.1f}",
+            record.size,
+            record.accepted,
+            record.occupancy_before_bu,
+            record.occupancy_after_bu,
+        ]
+        for record in result.batches
+    ]
+    table = format_table(
+        ["Batch", "t (s)", "Requests", "Accepted", "BU before", "BU after"],
+        rows,
+        title=(
+            f"{result.controller} trace-driven admission, "
+            f"batch size {result.batch_size}"
+        ),
+    )
+    summary = (
+        f"accepted {result.accepted}/{result.requested} requests "
+        f"({result.acceptance_percentage:.1f}%), "
+        f"peak occupancy {result.peak_occupancy_bu} BU"
+    )
+    return f"{table}\n\n{summary}"
+
+
+@_handles(TraceArrivalsScenario)
+def _run_trace_arrivals(scenario: TraceArrivalsScenario) -> tuple[str, dict[str, Any]]:
+    config = BatchExperimentConfig(
+        request_count=scenario.request_count,
+        arrival_window_s=scenario.arrival_window_s,
+        user_profile=UserProfile(
+            speed_kmh=scenario.speed_kmh,
+            angle_deg=scenario.angle_deg,
+            distance_km=scenario.distance_km,
+        ),
+        seed=scenario.seed,
+    )
+    result = run_trace_arrivals(
+        config,
+        batch_size=scenario.batch_size,
+        facs_config=FACSConfig(engine=scenario.engine),
+    )
+    metrics = {
+        "type": "trace-arrivals",
+        "controller": result.controller,
+        "requested": result.requested,
+        "accepted": result.accepted,
+        "acceptance_percentage": result.acceptance_percentage,
+        "batch_size": result.batch_size,
+        "peak_occupancy_bu": result.peak_occupancy_bu,
+        "batches": [
+            {
+                "index": record.index,
+                "start_time_s": record.start_time_s,
+                "size": record.size,
+                "accepted": record.accepted,
+                "occupancy_before_bu": record.occupancy_before_bu,
+                "occupancy_after_bu": record.occupancy_after_bu,
+            }
+            for record in result.batches
+        ],
+    }
+    return _render_trace_arrivals(result), metrics

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, ClassVar, Mapping
 
+from ..analysis.io import PayloadVersionError, migrate_payload, versioned_payload
 from ..fuzzy.controller import ENGINES
 from ..registry import Registry, RegistryError
 from ..simulation.config import PAPER_REQUEST_COUNTS
@@ -46,8 +47,10 @@ __all__ = [
     "SurfaceScenario",
     "FigureSweepScenario",
     "NetworkSweepScenario",
+    "ShardedNetworkSweepScenario",
     "AblationScenario",
     "NetworkIntegrationScenario",
+    "TraceArrivalsScenario",
 ]
 
 
@@ -150,12 +153,17 @@ class Scenario:
         return self.kind
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-JSON dict form (tuples become lists, ``None`` stays null)."""
+        """Plain-JSON dict form (tuples become lists, ``None`` stays null).
+
+        Payloads are stamped with the current ``schema_version`` (see
+        :mod:`repro.analysis.io` for the versioning policy); ``from_dict``
+        migrates older versions and rejects unknown ones.
+        """
         payload: dict[str, Any] = {"kind": self.kind}
         for spec in dataclasses.fields(self):
             value = getattr(self, spec.name)
             payload[spec.name] = list(value) if isinstance(value, tuple) else value
-        return payload
+        return versioned_payload(payload)
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -172,7 +180,10 @@ class Scenario:
             raise ScenarioError(
                 f"scenario payload must be a mapping, got {type(payload).__name__}"
             )
-        data = dict(payload)
+        try:
+            data = migrate_payload(payload, "scenario")
+        except PayloadVersionError as exc:
+            raise ScenarioError(str(exc)) from None
         kind = data.pop("kind", None)
         if kind is None:
             raise ScenarioError(
@@ -379,6 +390,29 @@ class NetworkSweepScenario(Scenario):
         return "net-sweep"
 
 
+@scenario_kind("network-sweep-sharded")
+@dataclass(frozen=True)
+class ShardedNetworkSweepScenario(NetworkSweepScenario):
+    """Per-cell sharded variant of the multi-cell QoS sweep.
+
+    Instead of one coupled ``rings``-ring simulation per replication, every
+    cell of the topology runs as an *independent* single-cell simulation
+    (its own arrival stream, mobility and admission controller), and the
+    per-cell outputs are pooled into the point statistics.  The trade is
+    explicit: inter-cell handoff coupling is dropped, but the work
+    decomposes into ``cells x replications`` smaller tasks that fan over
+    the same executor backends — the scale-out path for large topologies
+    where a single coupled run is the bottleneck.  Cell 0 keeps the base
+    seed, so a ``rings=0`` sharded sweep reproduces the coupled sweep's
+    curves point for point (the result name carries a ``-sharded``
+    suffix).
+    """
+
+    @property
+    def slug(self) -> str:
+        return "net-sweep-sharded"
+
+
 @scenario_kind("ablation")
 @dataclass(frozen=True)
 class AblationScenario(Scenario):
@@ -467,6 +501,53 @@ class NetworkIntegrationScenario(Scenario):
         return "net-integration"
 
 
+@scenario_kind("trace-arrivals")
+@dataclass(frozen=True)
+class TraceArrivalsScenario(Scenario):
+    """An offline, trace-driven request stream through ``decide_batch``.
+
+    The full arrival trace (times, service classes, GPS observations,
+    holding times) is materialized up front from the seed, then streamed
+    through the FACS controller in batches of ``batch_size`` via the
+    vectorized :meth:`~repro.cac.facs.system.FuzzyAdmissionControlSystem.decide_batch`
+    admission path — the headless pipeline for replaying recorded
+    workloads.  Optional ``speed_kmh``/``angle_deg``/``distance_km`` pin
+    the corresponding GPS attribute for every request (``None`` draws it
+    from the paper's ranges, as in the figure sweeps).
+    """
+
+    request_count: int = 200
+    batch_size: int = 16
+    arrival_window_s: float = 2000.0
+    speed_kmh: float | None = None
+    angle_deg: float | None = None
+    distance_km: float | None = None
+    seed: int = 20070625
+    engine: str = "compiled"
+
+    def __post_init__(self) -> None:
+        _check_int(self.request_count, "request_count", 1)
+        _check_int(self.batch_size, "batch_size", 1)
+        _check_finite(self.arrival_window_s, "arrival_window_s")
+        _require(
+            self.arrival_window_s > 0,
+            f"arrival_window_s must be positive, got {self.arrival_window_s}",
+        )
+        for name in ("speed_kmh", "angle_deg", "distance_km"):
+            value = getattr(self, name)
+            if value is not None:
+                _check_finite(value, name)
+        _require(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool),
+            f"seed must be an integer, got {self.seed!r}",
+        )
+        _check_engine(self.engine)
+
+    @property
+    def slug(self) -> str:
+        return "trace-arrivals"
+
+
 # ----------------------------------------------------------------------
 # Built-in default scenarios, one per `python -m repro list` entry.
 # Registration order matches the EXPERIMENTS inventory.
@@ -544,3 +625,13 @@ def _surface_flc1_scenario() -> Scenario:
 @register_scenario("surface-flc2")
 def _surface_flc2_scenario() -> Scenario:
     return SurfaceScenario(surface="flc2")
+
+
+@register_scenario("net-sweep-sharded")
+def _net_sweep_sharded_scenario() -> Scenario:
+    return ShardedNetworkSweepScenario()
+
+
+@register_scenario("trace-arrivals")
+def _trace_arrivals_scenario() -> Scenario:
+    return TraceArrivalsScenario()

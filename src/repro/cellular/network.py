@@ -16,7 +16,19 @@ from .cell import Cell
 from .geometry import HexCoordinate, Point, Vector, hex_spiral
 from .traffic import PAPER_BANDWIDTH_UNITS
 
-__all__ = ["CellularNetwork"]
+__all__ = ["CellularNetwork", "hex_cell_count"]
+
+
+def hex_cell_count(rings: int) -> int:
+    """Number of cells of a hexagonal topology with ``rings`` rings.
+
+    The closed form of ``len(hex_spiral(center, rings))`` — 1, 7, 19, ...
+    — shared by everything that sizes work from a topology without
+    building it (titles, per-cell sharding).
+    """
+    if rings < 0:
+        raise ValueError(f"rings must be non-negative, got {rings}")
+    return 3 * rings * (rings + 1) + 1
 
 
 class CellularNetwork:

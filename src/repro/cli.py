@@ -1,33 +1,44 @@
 """Command-line interface for the reproduction — a thin shell over ``repro.api``.
 
-``python -m repro list`` shows every registered paper artifact;
+``python -m repro list`` shows every registered paper artifact
+(``--format json`` dumps every registry machine-readably);
 ``python -m repro run <experiment-id>`` regenerates one of them and prints
 the same tables/plots the benchmarks produce.  The figure experiments accept
 ``--replications`` and ``--requests`` so quick looks and full-fidelity runs
 use the same entry point.  ``python -m repro network-sweep`` drives the
 multi-cell QoS sweep with full control over load points, topology and the
-executor/engine fast paths.
+executor/engine fast paths.  ``python -m repro campaign`` runs a whole
+multi-scenario study from one campaign JSON (or a directory of scenario
+JSONs) and renders the cross-scenario comparison.
 
-Every command builds a declarative :class:`repro.api.Scenario` and hands it
-to the :class:`repro.api.Runner` facade; ``--config`` runs a scenario
-straight from JSON, ``--format json`` emits the machine-readable
-:class:`repro.api.RunReport`, and ``--save`` persists it.
+Every command builds a declarative :class:`repro.api.Scenario` (or
+:class:`repro.api.Campaign`) and hands it to the facade; ``--config`` runs
+straight from JSON, ``--format json`` emits the machine-readable report,
+and ``--save`` persists it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import Sequence
 
+from .analysis.io import SCHEMA_VERSION
 from .analysis.tables import format_table
 from .api import (
     BENCH_ONLY_EXPERIMENTS,
+    COMPARISON_METRICS,
     CONTROLLERS,
     DEFAULT_NETWORK_CONTROLLERS,
     ENGINES,
     EXECUTORS,
+    SCENARIO_KINDS,
+    Campaign,
+    CampaignReport,
+    CampaignRunner,
     Runner,
     RunReport,
     Scenario,
@@ -40,6 +51,7 @@ from .api.scenario import (
     FigureSweepScenario,
     NetworkSweepScenario,
     SurfaceScenario,
+    TraceArrivalsScenario,
 )
 from .experiments import EXPERIMENTS
 from .simulation.sweep import PAPER_NETWORK_ARRIVAL_RATES
@@ -140,7 +152,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list every registered paper artifact")
+    lister = subparsers.add_parser(
+        "list", help="list every registered paper artifact"
+    )
+    lister.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="the experiment table (text, default) or every registry — "
+        "experiments, scenario kinds, controllers, engines, executors, "
+        "comparison metrics — as machine-readable JSON",
+    )
 
     run = subparsers.add_parser("run", help="regenerate one paper artifact")
     run.add_argument(
@@ -210,6 +232,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_performance_flags(network)
     _add_report_flags(network)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a multi-scenario campaign and compare results across "
+        "scenarios",
+    )
+    campaign.add_argument(
+        "--config",
+        metavar="CAMPAIGN_JSON_OR_DIR",
+        required=True,
+        help="a campaign JSON file (see repro.api.Campaign), or a directory "
+        "of scenario JSONs to run as one ad-hoc campaign",
+    )
+    campaign.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="print every member artifact plus the comparison table (text, "
+        "default) or the full machine-readable CampaignReport (json)",
+    )
+    campaign.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="persist the CampaignReport as <DIR>/<campaign name>.json",
+    )
+    campaign.add_argument(
+        "--executor",
+        choices=list(EXECUTORS.names()),
+        default=None,
+        help="override the campaign's scenario fan-out backend",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the campaign's pool size (requires a pool executor)",
+    )
     return parser
 
 
@@ -246,6 +306,21 @@ def _scenario_from_run_flags(
             workers=args.workers,
         )
     if isinstance(scenario, SurfaceScenario):
+        return replace(scenario, engine=args.engine)
+    if isinstance(scenario, TraceArrivalsScenario):
+        # The trace kind has no replication/request-list/executor shape;
+        # reject those flags rather than silently running the defaults.
+        ignored = [
+            f"--{name}"
+            for name in ("replications", "requests", "executor", "workers")
+            if getattr(args, name) != _RUN_SHAPING_DEFAULTS[name]
+        ]
+        if ignored:
+            raise SystemExit(
+                f"experiment {args.experiment!r} accepts only --engine of the "
+                f"run flags; drop {', '.join(ignored)} or shape the scenario "
+                f"via --config (fields: request_count, batch_size, ...)"
+            )
         return replace(scenario, engine=args.engine)
     if isinstance(scenario, ArtifactScenario):
         return scenario
@@ -295,15 +370,74 @@ def _reject_shaping_flags_with_config(
         )
 
 
-def _emit_report(report: RunReport, args: argparse.Namespace) -> None:
-    """Print the report in the requested format and optionally persist it."""
+def _emit_report(report: RunReport | CampaignReport, args: argparse.Namespace) -> int:
+    """Print the report in the requested format and optionally persist it.
+
+    Returns the process exit code: save refusals (a target file holding a
+    different scenario/campaign) surface as a clean error, not a traceback.
+    """
     if args.format == "json":
         print(report.to_json())
     else:
         print(report.text)
     if args.save is not None:
-        saved = report.save(args.save)
+        try:
+            saved = report.save(args.save)
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         print(f"saved: {saved}", file=sys.stderr)
+    return 0
+
+
+def _registries_payload() -> dict[str, object]:
+    """Machine-readable dump of every registry (``list --format json``)."""
+    bench_by_id = {spec.experiment_id: spec for spec in EXPERIMENTS}
+    experiments = []
+    for experiment_id in scenario_ids():
+        spec = bench_by_id.get(experiment_id)
+        experiments.append(
+            {
+                "id": experiment_id,
+                "kind": scenario_for(experiment_id).kind,
+                "paper_artifact": spec.paper_artifact if spec else None,
+                "benchmark": spec.bench_target if spec else None,
+                "bench_only": experiment_id in BENCH_ONLY_EXPERIMENTS,
+            }
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "experiments": experiments,
+        "scenario_kinds": list(SCENARIO_KINDS.names()),
+        "controllers": list(CONTROLLERS.names()),
+        "engines": [
+            {"name": name, "cli": ENGINES.get(name).cli}
+            for name in ENGINES.names()
+        ],
+        "executors": list(EXECUTORS.names()),
+        "comparison_metrics": list(COMPARISON_METRICS.names()),
+    }
+
+
+def _load_campaign(args: argparse.Namespace) -> Campaign:
+    """Build the campaign from ``--config`` (file or directory) + overrides."""
+    path = Path(args.config)
+    if path.is_dir():
+        campaign = Campaign.from_scenario_dir(path)
+    else:
+        campaign = Campaign.from_file(path)
+    overrides: dict[str, object] = {}
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+        if args.executor is None and campaign.executor == "serial":
+            # A bare --workers means "give me a pool"; threads avoid the
+            # process-pool start-up cost for scenario-sized tasks.
+            overrides["executor"] = "thread"
+    if overrides:
+        campaign = replace(campaign, **overrides)
+    return campaign
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -312,12 +446,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
+        if args.format == "json":
+            print(json.dumps(_registries_payload(), indent=2))
+            return 0
         rows = [
             [spec.experiment_id, spec.paper_artifact, spec.bench_target]
             for spec in EXPERIMENTS
         ]
         print(format_table(["Experiment", "Paper artifact", "Benchmark"], rows))
         return 0
+
+    if args.command == "campaign":
+        try:
+            campaign = _load_campaign(args)
+        except OSError as exc:
+            parser.error(f"cannot read campaign config: {exc}")
+        except ScenarioError as exc:
+            parser.error(str(exc))
+        return _emit_report(CampaignRunner().run(campaign), args)
 
     if args.command in ("run", "network-sweep"):
         if args.workers is not None and args.executor == "serial":
@@ -338,8 +484,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(f"cannot read scenario config: {exc}")
         except ScenarioError as exc:
             parser.error(str(exc))
-        _emit_report(Runner().run(scenario), args)
-        return 0
+        return _emit_report(Runner().run(scenario), args)
 
     if args.command == "network-sweep":
         try:
@@ -359,8 +504,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(f"cannot read scenario config: {exc}")
         except ScenarioError as exc:
             parser.error(str(exc))
-        _emit_report(Runner().run(scenario), args)
-        return 0
+        return _emit_report(Runner().run(scenario), args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -28,7 +28,7 @@ from ..des.rng import StreamFactory
 from .config import BatchExperimentConfig
 from .results import RunResult
 
-__all__ = ["BatchCallRecord", "BatchRunOutput", "run_batch_experiment"]
+__all__ = ["BatchCallRecord", "BatchRunOutput", "build_requests", "run_batch_experiment"]
 
 ControllerFactory = Callable[[], AdmissionController]
 
@@ -60,8 +60,14 @@ class BatchRunOutput:
         return self.result.acceptance_percentage
 
 
-def _build_requests(config: BatchExperimentConfig, streams: StreamFactory) -> list[Call]:
-    """Draw the arrival times, service classes and user states of all requests."""
+def build_requests(config: BatchExperimentConfig, streams: StreamFactory) -> list[Call]:
+    """Draw the arrival times, service classes and user states of all requests.
+
+    A pure function of ``(config, streams)``: the same seeded configuration
+    always yields the same trace, which is what lets the trace-driven
+    pipeline (:mod:`repro.simulation.trace`) materialize a whole workload
+    offline and replay it through the batched admission path.
+    """
     arrival_rng = streams.stream("arrivals")
     class_rng = streams.stream("service-class")
     user_rng = streams.stream("user-state")
@@ -102,7 +108,7 @@ def run_batch_experiment(
 ) -> BatchRunOutput:
     """Run one batch experiment and return metrics (and optionally the trace)."""
     streams = StreamFactory(master_seed=config.stream_master_seed)
-    requests = _build_requests(config, streams)
+    requests = build_requests(config, streams)
 
     env = Environment()
     station = BaseStation(capacity_bu=config.capacity_bu)

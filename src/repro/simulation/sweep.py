@@ -19,9 +19,10 @@ backend and worker count.
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
+from ..cellular.network import hex_cell_count
 from .batch import ControllerFactory, run_batch_experiment
 from .config import BatchExperimentConfig, NetworkExperimentConfig, PAPER_REQUEST_COUNTS
 from .engine import NetworkRunOutput, run_network_experiment
@@ -46,6 +47,7 @@ __all__ = [
     "NetworkSweepCurve",
     "NetworkSweepResult",
     "run_network_sweep",
+    "run_sharded_network_sweep",
     "PAPER_NETWORK_ARRIVAL_RATES",
 ]
 
@@ -393,6 +395,44 @@ class NetworkSweepResult:
         return [curve.label for curve in self.curves]
 
 
+def _assemble_network_result(
+    spec: NetworkSweepSpec,
+    outputs: Sequence[NetworkRunOutput],
+    runs_per_point: int,
+    name: str,
+) -> NetworkSweepResult:
+    """Pool executor outputs (in task order) into the per-point statistics.
+
+    Shared by the coupled and sharded sweeps; they differ only in how many
+    runs make up one point (``replications`` vs ``cells x replications``).
+    """
+    cursor = iter(outputs)
+    curves: list[NetworkSweepCurve] = []
+    for label in spec.controllers:
+        points: list[NetworkSweepPoint] = []
+        controller_name = ""
+        for rate in spec.arrival_rates:
+            runs = [next(cursor) for _ in range(runs_per_point)]
+            aggregated: NetworkAggregatedResult = aggregate_network_runs(runs)
+            controller_name = aggregated.controller
+            points.append(
+                NetworkSweepPoint(
+                    arrival_rate_per_cell_per_s=rate,
+                    acceptance_percentage=aggregated.mean_acceptance_percentage,
+                    std_percentage=aggregated.std_acceptance_percentage,
+                    blocking_probability=aggregated.mean_blocking_probability,
+                    dropping_probability=aggregated.mean_dropping_probability,
+                    handoff_failure_ratio=aggregated.mean_handoff_failure_ratio,
+                    mean_occupancy_bu=aggregated.mean_occupancy_bu,
+                    replications=aggregated.replications,
+                )
+            )
+        curves.append(
+            NetworkSweepCurve(label=label, controller=controller_name, points=tuple(points))
+        )
+    return NetworkSweepResult(name=name, curves=tuple(curves))
+
+
 def run_network_sweep(
     spec: NetworkSweepSpec,
     executor: SweepExecutor | str | None = None,
@@ -413,29 +453,67 @@ def run_network_sweep(
             f"executor {backend.name!r} returned {len(outputs)} results "
             f"for {len(tasks)} tasks"
         )
+    return _assemble_network_result(spec, outputs, spec.replications, spec.name)
 
-    cursor = iter(outputs)
-    curves: list[NetworkSweepCurve] = []
-    for label in spec.controllers:
-        points: list[NetworkSweepPoint] = []
-        controller_name = ""
+
+# ----------------------------------------------------------------------
+# Per-cell sharded network sweeps
+# ----------------------------------------------------------------------
+#: Seed stride separating the per-cell shards of one replication.  Any
+#: fixed constant works — it only has to map distinct cells of the same
+#: replication onto distinct, deterministic stream seeds.  Shard 0 keeps
+#: the base seed, so a single-cell (rings=0) sharded sweep reproduces the
+#: coupled sweep's curves point for point.
+_SHARD_SEED_STRIDE = 97_001_003
+
+
+def run_sharded_network_sweep(
+    spec: NetworkSweepSpec,
+    executor: SweepExecutor | str | None = None,
+) -> NetworkSweepResult:
+    """Run the sweep of ``spec`` with every cell sharded into its own run.
+
+    The topology of ``spec.base_config`` (``rings``) is decomposed into
+    independent single-cell simulations: each cell draws its own arrival
+    stream and mobility from a per-cell seed and runs its own controller
+    instance, and the per-cell outputs are pooled into the point
+    statistics (``replications`` of a point therefore reports
+    ``cells x replications`` runs).  Inter-cell handoff coupling is
+    deliberately dropped — that is the sharding trade — in exchange for
+    ``cells``-way finer task granularity over the same executor backends.
+    Results remain byte-identical for every backend and worker count.
+    """
+    backend = _resolve_executor(executor)
+    cells = hex_cell_count(spec.base_config.rings)
+
+    tasks: list[NetworkReplicationTask] = []
+    for label, controller_factory in spec.controllers.items():
         for rate in spec.arrival_rates:
-            runs = [next(cursor) for _ in range(spec.replications)]
-            aggregated: NetworkAggregatedResult = aggregate_network_runs(runs)
-            controller_name = aggregated.controller
-            points.append(
-                NetworkSweepPoint(
-                    arrival_rate_per_cell_per_s=rate,
-                    acceptance_percentage=aggregated.mean_acceptance_percentage,
-                    std_percentage=aggregated.std_acceptance_percentage,
-                    blocking_probability=aggregated.mean_blocking_probability,
-                    dropping_probability=aggregated.mean_dropping_probability,
-                    handoff_failure_ratio=aggregated.mean_handoff_failure_ratio,
-                    mean_occupancy_bu=aggregated.mean_occupancy_bu,
-                    replications=aggregated.replications,
-                )
-            )
-        curves.append(
-            NetworkSweepCurve(label=label, controller=controller_name, points=tuple(points))
+            for replication in range(spec.replications):
+                for cell_index in range(cells):
+                    config = spec.base_config.with_arrival_rate(rate)
+                    config = replace(
+                        config,
+                        rings=0,
+                        seed=config.seed + _SHARD_SEED_STRIDE * cell_index,
+                        replication=replication,
+                    )
+                    tasks.append(
+                        NetworkReplicationTask(
+                            label=label,
+                            arrival_rate_per_cell_per_s=rate,
+                            replication=replication,
+                            config=config,
+                            controller_factory=controller_factory,
+                        )
+                    )
+
+    outputs = backend.map(_execute_network_replication, tasks)
+    if len(outputs) != len(tasks):  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"executor {backend.name!r} returned {len(outputs)} results "
+            f"for {len(tasks)} tasks"
         )
-    return NetworkSweepResult(name=spec.name, curves=tuple(curves))
+    return _assemble_network_result(
+        spec, outputs, spec.replications * cells, f"{spec.name}-sharded"
+    )

@@ -1,0 +1,169 @@
+"""Error paths of the serialization layer: versions, truncation, non-finite."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.io import (
+    SCHEMA_VERSION,
+    PayloadVersionError,
+    migrate_payload,
+    versioned_payload,
+)
+from repro.api import RunReport, Scenario, ScenarioError, scenario_for
+
+
+class TestMigratePayload:
+    def test_missing_version_is_treated_as_v0(self):
+        assert migrate_payload({"kind": "artifact"}, "scenario") == {"kind": "artifact"}
+
+    def test_current_version_passes_through(self):
+        payload = versioned_payload({"kind": "artifact"})
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert migrate_payload(payload, "scenario") == {"kind": "artifact"}
+
+    def test_future_version_rejected(self):
+        with pytest.raises(PayloadVersionError, match="schema_version 99"):
+            migrate_payload({"schema_version": 99}, "scenario")
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(PayloadVersionError, match="schema_version -1"):
+            migrate_payload({"schema_version": -1}, "scenario")
+
+    def test_non_integer_version_rejected(self):
+        with pytest.raises(PayloadVersionError, match="must be an integer"):
+            migrate_payload({"schema_version": "1"}, "scenario")
+        with pytest.raises(PayloadVersionError, match="must be an integer"):
+            migrate_payload({"schema_version": True}, "scenario")
+
+    def test_error_names_the_payload(self):
+        with pytest.raises(PayloadVersionError, match="campaign report"):
+            migrate_payload({"schema_version": 42}, "campaign report")
+
+
+class TestScenarioVersioning:
+    def test_scenario_payloads_are_stamped(self):
+        assert scenario_for("table1-frb1").to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_v0_scenario_payload_still_decodes(self):
+        payload = scenario_for("net-sweep").to_dict()
+        payload.pop("schema_version")
+        assert Scenario.from_dict(payload) == scenario_for("net-sweep")
+
+    def test_unknown_scenario_version_rejected(self):
+        with pytest.raises(ScenarioError, match="schema_version 99"):
+            Scenario.from_dict({"schema_version": 99, "kind": "artifact"})
+
+    def test_schema_version_is_not_an_unknown_field(self):
+        # The version key must be consumed by migration, never reported as
+        # an unknown scenario field.
+        payload = {"schema_version": 1, "kind": "artifact", "artifact": "table1-frb1"}
+        assert Scenario.from_dict(payload) == scenario_for("table1-frb1")
+
+
+class TestRunReportErrorPaths:
+    def test_truncated_json_rejected_with_path(self, tmp_path):
+        path = tmp_path / "truncated.json"
+        path.write_text('{"scenario": {"kind": "artifact"')
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            RunReport.load(path)
+
+    def test_unknown_report_version_rejected(self, tmp_path):
+        report = RunReport(scenario=scenario_for("table1-frb1"), text="x")
+        payload = report.to_dict()
+        payload["schema_version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ScenarioError, match="schema_version 99"):
+            RunReport.load(path)
+
+    def test_v0_report_payload_still_loads(self, tmp_path):
+        report = RunReport(scenario=scenario_for("table1-frb1"), text="artifact")
+        payload = report.to_dict()
+        payload.pop("schema_version")
+        payload["scenario"].pop("schema_version")
+        path = tmp_path / "v0.json"
+        path.write_text(json.dumps(payload))
+        restored = RunReport.load(path)
+        assert restored.scenario == report.scenario
+        assert restored.text == report.text
+
+    def test_non_finite_metrics_round_trip(self, tmp_path):
+        report = RunReport(
+            scenario=scenario_for("table1-frb1"),
+            text="artifact",
+            metrics={
+                "nan_value": float("nan"),
+                "pos_inf": float("inf"),
+                "neg_inf": float("-inf"),
+                "finite": 1.5,
+            },
+        )
+        restored = RunReport.load(report.save(tmp_path))
+        assert math.isnan(restored.metrics["nan_value"])
+        assert restored.metrics["pos_inf"] == math.inf
+        assert restored.metrics["neg_inf"] == -math.inf
+        assert restored.metrics["finite"] == 1.5
+
+
+class TestRunReportSaveCollisions:
+    def test_default_scenario_keeps_the_plain_slug(self, tmp_path):
+        report = RunReport(scenario=scenario_for("fig7-speed"), text="x")
+        assert report.save(tmp_path) == tmp_path / "fig7-speed.json"
+
+    def test_parameterized_scenarios_get_distinct_deterministic_names(self, tmp_path):
+        quick = Scenario.from_dict(
+            {"kind": "figure-sweep", "figure": "fig7-speed", "replications": 1}
+        )
+        thorough = Scenario.from_dict(
+            {"kind": "figure-sweep", "figure": "fig7-speed", "replications": 2}
+        )
+        path_a = RunReport(scenario=quick, text="a").save(tmp_path)
+        path_b = RunReport(scenario=thorough, text="b").save(tmp_path)
+        assert path_a != path_b
+        assert path_a.name.startswith("fig7-speed-")
+        assert path_b.name.startswith("fig7-speed-")
+        # Deterministic: the same scenario always maps to the same file.
+        assert RunReport(scenario=quick, text="a2").save(tmp_path) == path_a
+
+    def test_execution_backend_is_not_part_of_the_file_identity(self, tmp_path):
+        # Results are backend-independent, so runs of one experiment map to
+        # one file however they executed.
+        serial = Scenario.from_dict(
+            {"kind": "figure-sweep", "figure": "fig7-speed", "replications": 2}
+        )
+        pooled = Scenario.from_dict(
+            {
+                "kind": "figure-sweep",
+                "figure": "fig7-speed",
+                "replications": 2,
+                "executor": "thread",
+                "workers": 4,
+            }
+        )
+        path = RunReport(scenario=serial, text="x").save(tmp_path)
+        assert RunReport(scenario=pooled, text="x").save(tmp_path) == path
+        # The default scenario keeps the plain slug even when run pooled.
+        pooled_default = Scenario.from_dict(
+            {"kind": "figure-sweep", "figure": "fig7-speed", "executor": "thread"}
+        )
+        report = RunReport(scenario=pooled_default, text="y")
+        assert report.save(tmp_path) == tmp_path / "fig7-speed.json"
+
+    def test_resave_of_same_scenario_overwrites(self, tmp_path):
+        report = RunReport(scenario=scenario_for("table1-frb1"), text="first")
+        path = report.save(tmp_path)
+        updated = RunReport(scenario=scenario_for("table1-frb1"), text="second")
+        assert updated.save(tmp_path) == path
+        assert RunReport.load(path).text == "second"
+
+    def test_save_refuses_to_clobber_foreign_files(self, tmp_path):
+        target = tmp_path / "table1-frb1.json"
+        target.write_text(json.dumps({"something": "else"}))
+        report = RunReport(scenario=scenario_for("table1-frb1"), text="x")
+        with pytest.raises(ScenarioError, match="refusing to overwrite"):
+            report.save(tmp_path)
+        assert json.loads(target.read_text()) == {"something": "else"}

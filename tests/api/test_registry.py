@@ -126,7 +126,10 @@ class TestConcreteRegistries:
         assert EXECUTORS.get("threads") is EXECUTORS.get("thread")
 
     def test_scenarios_cover_every_registered_experiment(self):
-        assert list(SCENARIOS.names()) == experiment_ids()
+        # Every paper-artifact experiment has a default scenario; the
+        # scenario registry may also hold scenario-only ids (trace-arrivals,
+        # net-sweep-sharded) that are not paper artifacts.
+        assert set(experiment_ids()) <= set(SCENARIOS.names())
 
     def test_bench_only_ids_are_registered_scenarios(self):
         assert BENCH_ONLY_EXPERIMENTS <= set(SCENARIOS.names())

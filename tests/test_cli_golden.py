@@ -14,10 +14,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.api import RunReport, Scenario, scenario_for
+from repro.api import Campaign, CampaignReport, Runner, RunReport, Scenario, scenario_for
 from repro.cli import main
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
+EXAMPLE_CAMPAIGN = (
+    Path(__file__).parents[1] / "examples" / "campaigns" / "fig7-fig10-study.json"
+)
 
 GOLDEN_CASES = {
     "run_table1-frb1.txt": ["run", "table1-frb1"],
@@ -64,7 +67,11 @@ class TestNewReportFlags:
     def test_format_json_emits_the_run_report(self, capsys):
         assert main(["run", "table1-frb1", "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["scenario"] == {"kind": "artifact", "artifact": "table1-frb1"}
+        assert payload["scenario"] == {
+            "schema_version": 1,
+            "kind": "artifact",
+            "artifact": "table1-frb1",
+        }
         golden = (GOLDEN_DIR / "run_table1-frb1.txt").read_text()
         assert payload["text"] + "\n" == golden
 
@@ -166,6 +173,14 @@ class TestNewValidation:
             main(["network-sweep", "--config", str(config), "--rates", "0.2"])
         assert "--rates" in capsys.readouterr().err
 
+    def test_save_refusal_is_a_clean_error_not_a_traceback(self, tmp_path, capsys):
+        foreign = tmp_path / "table1-frb1.json"
+        foreign.write_text(json.dumps({"something": "else"}))
+        assert main(["run", "table1-frb1", "--save", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "refusing to overwrite" in captured.err
+        assert json.loads(foreign.read_text()) == {"something": "else"}
+
     def test_config_still_allows_format_and_save(self, tmp_path, capsys):
         config = tmp_path / "s.json"
         config.write_text(json.dumps({"kind": "artifact", "artifact": "table2-frb2"}))
@@ -188,3 +203,142 @@ class TestNewValidation:
             ["network-sweep", "--controllers", "GuardChannel", "Threshold"]
         )
         assert args.controllers == ["GuardChannel", "Threshold"]
+
+
+class TestListJson:
+    def test_list_json_emits_the_registries(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        ids = {entry["id"] for entry in payload["experiments"]}
+        assert {"fig7-speed", "net-sweep", "trace-arrivals", "net-sweep-sharded"} <= ids
+        fig7 = next(e for e in payload["experiments"] if e["id"] == "fig7-speed")
+        assert fig7["kind"] == "figure-sweep"
+        assert fig7["paper_artifact"] == "Figure 7"
+        assert fig7["bench_only"] is False
+        abl = next(e for e in payload["experiments"] if e["id"] == "abl-defuzz")
+        assert abl["bench_only"] is True
+        assert "FACS" in payload["controllers"]
+        assert "serial" in payload["executors"]
+        assert {"trace-arrivals", "network-sweep-sharded"} <= set(
+            payload["scenario_kinds"]
+        )
+        assert "mean_acceptance" in payload["comparison_metrics"]
+        assert any(
+            engine["name"] == "compiled" and engine["cli"]
+            for engine in payload["engines"]
+        )
+
+    def test_list_text_output_is_unchanged(self, capsys):
+        assert main(["list"]) == 0
+        assert capsys.readouterr().out == (GOLDEN_DIR / "list.txt").read_text()
+
+
+class TestCampaignCommand:
+    def test_example_campaign_members_match_individual_runner_runs(self, capsys):
+        """The acceptance gate of the campaign API: running the example
+        campaign through the CLI reproduces every per-scenario ASCII
+        artifact byte for byte against an individual ``Runner.run`` of the
+        resolved member scenario."""
+        assert main(
+            ["campaign", "--config", str(EXAMPLE_CAMPAIGN), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        campaign = Campaign.from_file(EXAMPLE_CAMPAIGN)
+        resolved = campaign.resolved_scenarios()
+        assert [m["id"] for m in payload["campaign"]["members"]] == [
+            "fig7-speed",
+            "fig10-facs-vs-scc",
+        ]
+        runner = Runner()
+        for scenario, entry in zip(resolved, payload["reports"]):
+            direct = runner.run(scenario)
+            assert entry["text"] == direct.text
+            assert entry["scenario"] == scenario.to_dict()
+
+    def test_example_campaign_is_backend_independent(self, capsys):
+        base = ["campaign", "--config", str(EXAMPLE_CAMPAIGN), "--format", "json"]
+        assert main(base) == 0
+        default_out = capsys.readouterr().out
+        assert main(base + ["--executor", "serial"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        pooled_out = capsys.readouterr().out
+        assert default_out == serial_out == pooled_out
+
+    def test_campaign_from_directory_of_scenarios(self, tmp_path, capsys):
+        (tmp_path / "table.json").write_text(
+            json.dumps({"kind": "artifact", "artifact": "table1-frb1"})
+        )
+        (tmp_path / "surface.json").write_text(
+            json.dumps({"kind": "surface", "surface": "flc2", "resolution": 5})
+        )
+        assert main(["campaign", "--config", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "=== table [artifact] ===" in output
+        assert "=== surface [surface] ===" in output
+        assert "Cross-scenario comparison" in output
+
+    def test_campaign_save_persists_a_loadable_report(self, tmp_path, capsys):
+        config = tmp_path / "campaign.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "name": "save-test",
+                    "members": [
+                        {
+                            "id": "t1",
+                            "scenario": {"kind": "artifact", "artifact": "table1-frb1"},
+                        }
+                    ],
+                }
+            )
+        )
+        out_dir = tmp_path / "out"
+        assert main(
+            ["campaign", "--config", str(config), "--save", str(out_dir)]
+        ) == 0
+        capsys.readouterr()
+        report = CampaignReport.load(out_dir / "save-test.json")
+        assert report.campaign.name == "save-test"
+        assert report.reports[0].text.startswith("Table 1")
+
+    def test_campaign_rejects_missing_config(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--config", str(tmp_path / "absent.json")])
+
+    def test_campaign_rejects_invalid_config(self, tmp_path, capsys):
+        config = tmp_path / "bad.json"
+        config.write_text(json.dumps({"name": "x", "members": []}))
+        with pytest.raises(SystemExit):
+            main(["campaign", "--config", str(config)])
+        assert "members" in capsys.readouterr().err
+
+    def test_campaign_workers_with_serial_executor_rejected(self, tmp_path, capsys):
+        config = tmp_path / "campaign.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "name": "serial-workers",
+                    "members": [
+                        {
+                            "id": "t1",
+                            "scenario": {"kind": "artifact", "artifact": "table1-frb1"},
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "campaign",
+                    "--config",
+                    str(config),
+                    "--executor",
+                    "serial",
+                    "--workers",
+                    "2",
+                ]
+            )
+        assert "pool executor" in capsys.readouterr().err
