@@ -18,7 +18,12 @@ Versioning policy
 * **v0** — the pre-versioning payloads of the first Scenario/Runner API
   (no ``schema_version`` key).  Still readable: the v0→v1 migration is the
   identity, because v1 only *added* the stamp.
-* **v1** — current.  Every payload carries ``schema_version: 1``.
+* **v1** — the first stamped payloads (Campaign API era).
+* **v2** — current.  Adds the columnar :class:`~repro.analysis.frame.MetricsFrame`
+  payload (``frame`` key inside sweep ``RunReport`` metrics, plus the
+  standalone ``metrics-frame`` codec below) and the optional
+  ``baseline``/``deltas`` comparison fields.  All additive, so the v1→v2
+  migration is the identity.
 * Future breaking field changes must bump :data:`SCHEMA_VERSION` and add a
   migration step to :data:`_MIGRATIONS`; decoding a payload newer than the
   running build always fails loudly rather than guessing.
@@ -31,6 +36,8 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
+import numpy as np
+
 from ..simulation.sweep import (
     NetworkSweepCurve,
     NetworkSweepPoint,
@@ -39,6 +46,7 @@ from ..simulation.sweep import (
     SweepPoint,
     SweepResult,
 )
+from .frame import MetricsFrame
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -53,6 +61,8 @@ __all__ = [
     "sweep_result_from_dict",
     "network_sweep_result_to_dict",
     "network_sweep_result_from_dict",
+    "metrics_frame_to_dict",
+    "metrics_frame_from_dict",
     "write_result_json",
     "read_result_json",
 ]
@@ -61,7 +71,7 @@ __all__ = [
 # Payload schema versioning
 # ----------------------------------------------------------------------
 #: Version stamped into every newly serialized API payload.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 class PayloadVersionError(ValueError):
@@ -78,9 +88,21 @@ def _migrate_v0_to_v1(payload: dict[str, Any]) -> dict[str, Any]:
     return payload
 
 
+def _migrate_v1_to_v2(payload: dict[str, Any]) -> dict[str, Any]:
+    """v1 → v2: the identity — v2 only *added* fields.
+
+    New in v2: the optional ``frame`` payload (columnar MetricsFrame)
+    inside sweep run-report metrics, and the optional ``baseline`` /
+    per-row ``deltas`` fields of campaign comparisons.  Old payloads
+    simply lack them, and every decoder treats the fields as optional.
+    """
+    return payload
+
+
 #: Migration steps: version ``n`` → the function upgrading ``n`` to ``n+1``.
 _MIGRATIONS: dict[int, Callable[[dict[str, Any]], dict[str, Any]]] = {
     0: _migrate_v0_to_v1,
+    1: _migrate_v1_to_v2,
 }
 
 
@@ -341,6 +363,65 @@ def network_sweep_result_from_dict(payload: dict) -> NetworkSweepResult:
             )
             for curve in payload["curves"]
         ),
+    )
+
+
+# ----------------------------------------------------------------------
+# MetricsFrame codec (lossless, schema-versioned)
+# ----------------------------------------------------------------------
+_FRAME_TYPE = "metrics-frame"
+
+
+def metrics_frame_to_dict(frame: MetricsFrame) -> dict:
+    """Lossless, schema-versioned dict form of a :class:`MetricsFrame`.
+
+    Columns serialise as plain JSON lists with their dtype strings; float
+    values round-trip exactly (shortest-repr doubles) and NaN parameter
+    slots encode as ``null``.
+    """
+    meta, buffers = frame.column_buffers()
+    columns: dict[str, list] = {}
+    for (name, _dtype), array in zip(meta["columns"], buffers):
+        if array.dtype.kind == "f":
+            columns[name] = [
+                None if value != value else value for value in array.tolist()
+            ]
+        else:
+            columns[name] = array.tolist()
+    return versioned_payload(
+        {
+            "type": _FRAME_TYPE,
+            "kind": meta["kind"],
+            "rows": meta["rows"],
+            "label_vocab": meta["label_vocab"],
+            "controller_vocab": meta["controller_vocab"],
+            "param_names": meta["param_names"],
+            "dtypes": {name: dtype for name, dtype in meta["columns"]},
+            "columns": columns,
+        }
+    )
+
+
+def metrics_frame_from_dict(payload: Mapping[str, Any]) -> MetricsFrame:
+    """Rebuild a frame written by :func:`metrics_frame_to_dict`."""
+    data = migrate_payload(payload, "metrics frame")
+    if data.get("type") != _FRAME_TYPE:
+        raise ValueError(
+            f"expected a {_FRAME_TYPE!r} payload, got type={data.get('type')!r}"
+        )
+    columns: dict[str, np.ndarray] = {}
+    for name, dtype_str in data["dtypes"].items():
+        dtype = np.dtype(dtype_str)
+        values = data["columns"][name]
+        if dtype.kind == "f":
+            values = [np.nan if value is None else value for value in values]
+        columns[name] = np.array(values, dtype=dtype)
+    return MetricsFrame(
+        data["kind"],
+        columns,
+        tuple(data["label_vocab"]),
+        tuple(data["controller_vocab"]),
+        tuple(data["param_names"]),
     )
 
 

@@ -8,7 +8,45 @@ from typing import Sequence
 
 from scipy import stats as scipy_stats
 
-__all__ = ["SummaryStatistics", "summarize", "t_confidence_interval", "paired_difference"]
+__all__ = [
+    "SummaryStatistics",
+    "summarize",
+    "t_confidence_interval",
+    "paired_difference",
+    "series_mean",
+    "series_sample_std",
+]
+
+
+def series_mean(values: Sequence[float]) -> float:
+    """Left-to-right mean: ``sum(values) / len(values)``.
+
+    This is deliberately the exact arithmetic of the historical replication
+    aggregation loops (``aggregate_runs``/``aggregate_network_runs``), kept
+    as the single executable spec both those loops and the columnar
+    :meth:`repro.analysis.frame.MetricsFrame.group_reduce` share — so the
+    two paths stay bit-identical, not merely close.
+    """
+    if not values:
+        raise ValueError("cannot average an empty series")
+    return sum(values) / len(values)
+
+
+def series_sample_std(values: Sequence[float], mean: float | None = None) -> float:
+    """Sample standard deviation with the historical loop arithmetic.
+
+    ``sqrt(sum((v - mean)**2) / (n - 1))`` for ``n > 1``, else ``0.0`` —
+    the exact expression of the original aggregation loops (see
+    :func:`series_mean` for why the arithmetic is pinned).
+    """
+    if not values:
+        raise ValueError("cannot take the deviation of an empty series")
+    if mean is None:
+        mean = series_mean(values)
+    if len(values) <= 1:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(variance)
 
 
 @dataclass(frozen=True)

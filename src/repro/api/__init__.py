@@ -44,7 +44,13 @@ scenario JSON immediately — the per-cell sharded sweep and the
 trace-driven workload kinds plug in through the same seams.
 """
 
-from ..analysis.io import SCHEMA_VERSION, PayloadVersionError
+from ..analysis.frame import FrameGroup, FrameRow, MetricsFrame
+from ..analysis.io import (
+    SCHEMA_VERSION,
+    PayloadVersionError,
+    metrics_frame_from_dict,
+    metrics_frame_to_dict,
+)
 from ..fuzzy.controller import ENGINES, EngineSpec
 from ..registry import Registry, RegistryError
 from ..simulation.executor import EXECUTORS
@@ -75,7 +81,14 @@ from .registry import (
     scenario_ids,
 )
 from .report import COMPARISON_METRICS, build_comparison, comparison_metric
-from .runner import Runner, RunReport, register_runner, run
+from .runner import (
+    Runner,
+    RunReport,
+    execution_normalized,
+    register_runner,
+    report_stem,
+    run,
+)
 from .scenario import (
     SCENARIO_KINDS,
     AblationScenario,
@@ -97,6 +110,8 @@ __all__ = [
     "RunReport",
     "run",
     "register_runner",
+    "execution_normalized",
+    "report_stem",
     # campaigns
     "Campaign",
     "CampaignError",
@@ -111,6 +126,12 @@ __all__ = [
     # schema versioning
     "SCHEMA_VERSION",
     "PayloadVersionError",
+    # columnar result core
+    "MetricsFrame",
+    "FrameGroup",
+    "FrameRow",
+    "metrics_frame_to_dict",
+    "metrics_frame_from_dict",
     # scenarios
     "Scenario",
     "ScenarioError",

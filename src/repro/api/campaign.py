@@ -39,7 +39,7 @@ from ..analysis.io import (
 from ..fuzzy.controller import ENGINES
 from ..simulation.executor import EXECUTORS, executor_by_name
 from .report import COMPARISON_METRICS, build_comparison
-from .runner import Runner, RunReport
+from .runner import Runner, RunReport, execution_normalized, report_stem
 from .scenario import Scenario, ScenarioError
 
 __all__ = [
@@ -75,9 +75,16 @@ def _check_name(value: object, what: str) -> None:
 
 @dataclass(frozen=True)
 class ComparisonSpec:
-    """Which metrics the campaign tabulates across its scenarios."""
+    """Which metrics the campaign tabulates across its scenarios.
+
+    ``baseline`` optionally names a member id to difference against: the
+    comparison then adds a ``Δ<metric>`` column per metric (and a
+    ``deltas`` mapping per payload row) relative to that reference
+    scenario's value for the same curve label (or its only curve).
+    """
 
     metrics: tuple[str, ...] = ("mean_acceptance",)
+    baseline: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "metrics", tuple(self.metrics))
@@ -92,9 +99,11 @@ class ComparisonSpec:
         _require(
             not duplicates, f"duplicate comparison metrics: {', '.join(duplicates)}"
         )
+        if self.baseline is not None:
+            _check_name(self.baseline, "comparison baseline")
 
     def to_dict(self) -> dict[str, Any]:
-        return {"metrics": list(self.metrics)}
+        return {"metrics": list(self.metrics), "baseline": self.baseline}
 
     @staticmethod
     def from_dict(payload: Mapping[str, Any]) -> "ComparisonSpec":
@@ -102,14 +111,14 @@ class ComparisonSpec:
             raise CampaignError(
                 f"comparison spec must be a mapping, got {type(payload).__name__}"
             )
-        unknown = sorted(set(payload) - {"metrics"})
+        unknown = sorted(set(payload) - {"metrics", "baseline"})
         _require(not unknown, f"unknown comparison spec field(s): {unknown}")
         metrics = payload.get("metrics", ("mean_acceptance",))
         _require(
             isinstance(metrics, (list, tuple)),
             f"comparison metrics must be a list, got {metrics!r}",
         )
-        return ComparisonSpec(metrics=tuple(metrics))
+        return ComparisonSpec(metrics=tuple(metrics), baseline=payload.get("baseline"))
 
 
 @dataclass(frozen=True)
@@ -205,6 +214,11 @@ class Campaign:
             isinstance(self.comparison, ComparisonSpec),
             f"comparison must be a ComparisonSpec, "
             f"got {type(self.comparison).__name__}",
+        )
+        _require(
+            self.comparison.baseline is None or self.comparison.baseline in ids,
+            f"comparison baseline {self.comparison.baseline!r} is not a member "
+            f"id; members: {ids}",
         )
 
     # ------------------------------------------------------------------
@@ -359,6 +373,29 @@ def _execute_scenario(scenario: Scenario) -> RunReport:
     return Runner().run(scenario)
 
 
+def _cached_member_report(directory: Path, scenario: Scenario) -> RunReport | None:
+    """A saved report whose digest matches the resolved scenario, or None.
+
+    The lookup key is :func:`repro.api.runner.report_stem` — the same
+    content-addressed filename ``RunReport.save`` writes — and the hit is
+    confirmed by comparing the saved report's embedded scenario
+    (execution-normalized) against the resolved member scenario.  Runs
+    are deterministic, so a confirmed hit is exactly what re-running
+    would produce; the report is re-stamped with the resolved scenario so
+    the campaign report stays byte-identical to an uncached run.
+    """
+    path = directory / f"{report_stem(scenario)}.json"
+    if not path.is_file():
+        return None
+    try:
+        saved = RunReport.load(path)
+    except ScenarioError:
+        return None
+    if execution_normalized(saved.scenario) != execution_normalized(scenario):
+        return None
+    return RunReport(scenario=scenario, text=saved.text, metrics=saved.metrics)
+
+
 @dataclass(frozen=True)
 class CampaignReport:
     """Everything a campaign produced: member reports plus the comparison.
@@ -466,12 +503,23 @@ class CampaignReport:
 class CampaignRunner:
     """Facade executing campaigns over one shared executor pool.
 
+    ``reuse_saved`` (opt-in) points at a directory of saved ``RunReport``
+    JSONs (``RunReport.save`` output, or a previous campaign's
+    ``--save``-ed member reports): members whose saved report digest
+    already matches their resolved scenario are loaded instead of re-run,
+    and only the cache misses fan over the pool.  Runs are deterministic
+    and backend-independent, so a confirmed cache hit cannot change the
+    report.
+
     >>> from repro.api import Campaign, CampaignRunner
     >>> campaign = Campaign.from_file("examples/campaigns/fig7-fig10-study.json")
     >>> report = CampaignRunner().run(campaign)
     >>> print(report.comparison_text)       # the cross-scenario table
     >>> report.save("results")              # one self-describing artifact
     """
+
+    def __init__(self, reuse_saved: str | Path | None = None):
+        self._reuse_saved = None if reuse_saved is None else Path(reuse_saved)
 
     def run(self, campaign: Campaign) -> CampaignReport:
         """Execute every member and assemble the :class:`CampaignReport`.
@@ -481,17 +529,26 @@ class CampaignRunner:
         report is byte-identical for every backend and worker count.
         """
         scenarios = campaign.resolved_scenarios()
-        backend = executor_by_name(campaign.executor, workers=campaign.workers)
-        reports = backend.map(_execute_scenario, scenarios)
-        if len(reports) != len(scenarios):  # pragma: no cover - defensive
-            raise RuntimeError(
-                f"executor {campaign.executor!r} returned {len(reports)} "
-                f"reports for {len(scenarios)} scenarios"
-            )
+        reports: list[RunReport | None] = [None] * len(scenarios)
+        if self._reuse_saved is not None:
+            for index, scenario in enumerate(scenarios):
+                reports[index] = _cached_member_report(self._reuse_saved, scenario)
+        pending = [i for i, report in enumerate(reports) if report is None]
+        if pending:
+            backend = executor_by_name(campaign.executor, workers=campaign.workers)
+            fresh = backend.map(_execute_scenario, [scenarios[i] for i in pending])
+            if len(fresh) != len(pending):  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"executor {campaign.executor!r} returned {len(fresh)} "
+                    f"reports for {len(pending)} scenarios"
+                )
+            for index, report in zip(pending, fresh):
+                reports[index] = report
         comparison_text, comparison = build_comparison(
             [member.id for member in campaign.members],
             reports,
             campaign.comparison.metrics,
+            baseline=campaign.comparison.baseline,
         )
         return CampaignReport(
             campaign=campaign.execution_normalized(),
@@ -501,6 +558,8 @@ class CampaignRunner:
         )
 
 
-def run_campaign(campaign: Campaign) -> CampaignReport:
+def run_campaign(
+    campaign: Campaign, reuse_saved: str | Path | None = None
+) -> CampaignReport:
     """Module-level convenience wrapper around :meth:`CampaignRunner.run`."""
-    return CampaignRunner().run(campaign)
+    return CampaignRunner(reuse_saved=reuse_saved).run(campaign)

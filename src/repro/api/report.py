@@ -122,10 +122,32 @@ def _mean_handoff_failure(metrics: Mapping[str, Any]) -> dict[str, float] | None
     return _network_quality(metrics, "handoff_failure_ratio", "handoff_failure_ratio")
 
 
+def _baseline_value(
+    baseline_extracted: Mapping[str, "dict[str, float] | None"],
+    metric: str,
+    label: str,
+) -> float | None:
+    """The baseline's value of ``metric`` to delta ``label`` against.
+
+    Matched by curve label; when the baseline produced exactly one curve,
+    every label compares against it (the common "reference scenario"
+    shape, e.g. a single-controller baseline against a controller sweep).
+    """
+    values = baseline_extracted.get(metric)
+    if not values:
+        return None
+    if label in values:
+        return values[label]
+    if len(values) == 1:
+        return next(iter(values.values()))
+    return None
+
+
 def build_comparison(
     member_ids: Sequence[str],
     reports: Sequence["RunReport"],
     metrics: Sequence[str],
+    baseline: str | None = None,
 ) -> tuple[str, dict[str, Any]]:
     """Tabulate ``metrics`` across every (scenario, curve) of a campaign.
 
@@ -133,48 +155,82 @@ def build_comparison(
     A scenario a metric does not apply to shows ``-`` in the table and
     ``null`` in the payload — scenarios are never silently dropped from
     the comparison.
+
+    With ``baseline`` (a member id), each metric gains a delta column
+    ``Δ<metric>`` — the difference against the baseline member's value
+    for the same curve label (or its only curve) — and every payload row
+    gains a matching ``deltas`` mapping.  The baseline's own rows delta
+    to ``0.0``.
     """
+    extracted_by_member = [
+        {name: COMPARISON_METRICS.get(name)(report.metrics) for name in metrics}
+        for report in reports
+    ]
+    baseline_extracted: Mapping[str, Any] | None = None
+    if baseline is not None:
+        try:
+            baseline_extracted = extracted_by_member[list(member_ids).index(baseline)]
+        except ValueError:
+            raise ValueError(
+                f"comparison baseline {baseline!r} is not a member id; "
+                f"members: {list(member_ids)}"
+            ) from None
+
     rows_payload: list[dict[str, Any]] = []
     table_rows: list[list[object]] = []
-    for member_id, report in zip(member_ids, reports):
-        extracted = {
-            name: COMPARISON_METRICS.get(name)(report.metrics) for name in metrics
-        }
+    for member_id, extracted in zip(member_ids, extracted_by_member):
         labels: list[str] = []
         for name in metrics:
             for label in extracted[name] or ():
                 if label not in labels:
                     labels.append(label)
         if not labels:
-            rows_payload.append(
-                {
-                    "scenario": member_id,
-                    "curve": None,
-                    "values": {name: None for name in metrics},
-                }
+            row: dict[str, Any] = {
+                "scenario": member_id,
+                "curve": None,
+                "values": {name: None for name in metrics},
+            }
+            if baseline_extracted is not None:
+                row["deltas"] = {name: None for name in metrics}
+            rows_payload.append(row)
+            table_rows.append(
+                [member_id, "-", *["-" for _ in metrics]]
+                + (["-" for _ in metrics] if baseline_extracted is not None else [])
             )
-            table_rows.append([member_id, "-", *["-" for _ in metrics]])
             continue
         for label in labels:
             values = {
                 name: (extracted[name] or {}).get(label) for name in metrics
             }
-            rows_payload.append(
-                {"scenario": member_id, "curve": label, "values": values}
-            )
-            table_rows.append(
-                [
-                    member_id,
-                    label,
-                    *[
-                        value if value is not None else "-"
-                        for value in values.values()
-                    ],
-                ]
-            )
-    text = format_table(
-        ["Scenario", "Curve", *metrics],
-        table_rows,
-        title="Cross-scenario comparison",
-    )
-    return text, {"metrics": list(metrics), "rows": rows_payload}
+            row = {"scenario": member_id, "curve": label, "values": values}
+            cells: list[object] = [
+                member_id,
+                label,
+                *[value if value is not None else "-" for value in values.values()],
+            ]
+            if baseline_extracted is not None:
+                deltas: dict[str, float | None] = {}
+                for name in metrics:
+                    value = values[name]
+                    reference = _baseline_value(baseline_extracted, name, label)
+                    deltas[name] = (
+                        value - reference
+                        if value is not None and reference is not None
+                        else None
+                    )
+                row["deltas"] = deltas
+                cells.extend(
+                    delta if delta is not None else "-" for delta in deltas.values()
+                )
+            rows_payload.append(row)
+            table_rows.append(cells)
+    headers = ["Scenario", "Curve", *metrics]
+    title = "Cross-scenario comparison"
+    if baseline_extracted is not None:
+        headers.extend(f"Δ{name}" for name in metrics)
+        title = f"Cross-scenario comparison (Δ vs {baseline})"
+    text = format_table(headers, table_rows, title=title)
+    payload: dict[str, Any] = {"metrics": list(metrics), "rows": rows_payload}
+    if baseline is not None:
+        payload["baseline"] = baseline
+    return text, payload

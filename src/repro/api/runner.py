@@ -16,8 +16,10 @@ from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
+from ..analysis.frame import MetricsFrame
 from ..analysis.io import (
     PayloadVersionError,
+    metrics_frame_to_dict,
     migrate_payload,
     network_sweep_result_to_dict,
     sweep_result_to_dict,
@@ -38,6 +40,7 @@ from ..simulation.config import BatchExperimentConfig, NetworkExperimentConfig
 from ..simulation.engine import NetworkRunOutput, run_network_experiment
 from ..simulation.executor import SweepExecutor, executor_by_name
 from ..simulation.sweep import (
+    NetworkSweepResult,
     SweepResult,
     run_network_sweep,
     run_sharded_network_sweep,
@@ -64,7 +67,14 @@ from .scenario import (
     TraceArrivalsScenario,
 )
 
-__all__ = ["Runner", "RunReport", "run", "register_runner"]
+__all__ = [
+    "Runner",
+    "RunReport",
+    "execution_normalized",
+    "register_runner",
+    "report_stem",
+    "run",
+]
 
 
 @dataclass(frozen=True)
@@ -105,15 +115,7 @@ class RunReport:
         normalized out first — results are backend-independent, so runs of
         one experiment map to one file regardless of how they executed.
         """
-        normalized = _execution_normalized(self.scenario)
-        slug = normalized.slug
-        for experiment_id in SCENARIOS.names():
-            if SCENARIOS.get(experiment_id)() == normalized:
-                return slug
-        digest = hashlib.sha256(
-            normalized.to_json(indent=None).encode()
-        ).hexdigest()[:10]
-        return f"{slug}-{digest}"
+        return report_stem(self.scenario)
 
     def save(self, directory: str | Path) -> Path:
         """Persist the report as ``<directory>/<stem>.json``.
@@ -167,12 +169,13 @@ class RunReport:
         return RunReport.from_dict(payload, source=str(path))
 
 
-def _execution_normalized(scenario: Scenario) -> Scenario:
+def execution_normalized(scenario: Scenario) -> Scenario:
     """Copy of ``scenario`` with execution-backend fields reset.
 
     Results are byte-identical for every backend and worker count, so the
     executor/workers fields shape *how* a scenario runs, never *what* it
-    produces — filename identity and overwrite guards ignore them.
+    produces — filename identity, overwrite guards and the campaign
+    member cache ignore them.
     """
     names = {spec.name for spec in fields(scenario)}
     updates: dict[str, Any] = {}
@@ -181,6 +184,25 @@ def _execution_normalized(scenario: Scenario) -> Scenario:
     if "workers" in names:
         updates["workers"] = None
     return replace(scenario, **updates) if updates else scenario
+
+
+#: Backwards-compatible private alias (pre-refactor name).
+_execution_normalized = execution_normalized
+
+
+def report_stem(scenario: Scenario) -> str:
+    """Deterministic report filename stem of ``scenario``.
+
+    Shared by :attr:`RunReport.stem` and the campaign member cache, so a
+    saved report can be found again from the scenario alone.
+    """
+    normalized = execution_normalized(scenario)
+    slug = normalized.slug
+    for experiment_id in SCENARIOS.names():
+        if SCENARIOS.get(experiment_id)() == normalized:
+            return slug
+    digest = hashlib.sha256(normalized.to_json(indent=None).encode()).hexdigest()[:10]
+    return f"{slug}-{digest}"
 
 
 Handler = Callable[[Scenario], tuple[str, dict[str, Any]]]
@@ -250,6 +272,23 @@ def _build_executor(scenario: Any) -> SweepExecutor:
     return executor_by_name(scenario.executor, workers=scenario.workers)
 
 
+def _sweep_metrics(result: SweepResult | NetworkSweepResult) -> dict[str, Any]:
+    """Machine-readable metrics of a sweep: curves plus the columnar frame.
+
+    The ``frame`` payload (schema-versioned ``metrics-frame``) is the
+    replication-level record store behind the rendered curves — new in
+    schema v2, additive, so every pre-frame consumer keeps working.
+    """
+    payload = (
+        network_sweep_result_to_dict(result)
+        if isinstance(result, NetworkSweepResult)
+        else sweep_result_to_dict(result)
+    )
+    if result.frame is not None:
+        payload["frame"] = metrics_frame_to_dict(result.frame)
+    return payload
+
+
 @_handles(ArtifactScenario)
 def _run_artifact(scenario: ArtifactScenario) -> tuple[str, dict[str, Any]]:
     text = ARTIFACTS.get(scenario.artifact)()
@@ -297,7 +336,7 @@ def _run_figure_sweep(scenario: FigureSweepScenario) -> tuple[str, dict[str, Any
     if scenario.curve_values is not None:
         kwargs[definition.curve_kwarg] = scenario.curve_values
     result = definition.reproduce(**kwargs)
-    return definition.render(result), sweep_result_to_dict(result)
+    return definition.render(result), _sweep_metrics(result)
 
 
 def _network_sweep_spec_for(scenario: NetworkSweepScenario):
@@ -326,7 +365,7 @@ def _network_sweep_spec_for(scenario: NetworkSweepScenario):
 def _run_network_sweep(scenario: NetworkSweepScenario) -> tuple[str, dict[str, Any]]:
     spec = _network_sweep_spec_for(scenario)
     result = run_network_sweep(spec, executor=_build_executor(scenario))
-    return render_network_sweep(result), network_sweep_result_to_dict(result)
+    return render_network_sweep(result), _sweep_metrics(result)
 
 
 @_handles(ShardedNetworkSweepScenario)
@@ -335,7 +374,7 @@ def _run_sharded_network_sweep(
 ) -> tuple[str, dict[str, Any]]:
     spec = _network_sweep_spec_for(scenario)
     result = run_sharded_network_sweep(spec, executor=_build_executor(scenario))
-    return render_network_sweep(result), network_sweep_result_to_dict(result)
+    return render_network_sweep(result), _sweep_metrics(result)
 
 
 def _render_ablation(result: SweepResult) -> str:
@@ -369,7 +408,7 @@ def _run_ablation(scenario: AblationScenario) -> tuple[str, dict[str, Any]]:
     if scenario.seed is not None:
         kwargs["seed"] = scenario.seed
     result = reproduce(**kwargs)
-    return _render_ablation(result), sweep_result_to_dict(result)
+    return _render_ablation(result), _sweep_metrics(result)
 
 
 def _network_run_metrics(output: NetworkRunOutput) -> dict[str, Any]:
@@ -398,9 +437,11 @@ def _run_network_integration(
         seed=scenario.seed,
     )
     per_controller: dict[str, dict[str, Any]] = {}
+    outputs = []
     rows = []
     for name in scenario.controllers:
         output = run_network_experiment(config, controller_factory(name, engine=scenario.engine))
+        outputs.append(output)
         numbers = _network_run_metrics(output)
         per_controller[name] = numbers
         rows.append(
@@ -433,7 +474,12 @@ def _run_network_integration(
             f"Gauss-Markov mobility"
         ),
     )
-    metrics = {"type": "network-integration", "controllers": per_controller}
+    frame = MetricsFrame.from_network_outputs(outputs, labels=list(scenario.controllers))
+    metrics = {
+        "type": "network-integration",
+        "controllers": per_controller,
+        "frame": metrics_frame_to_dict(frame),
+    }
     return text, metrics
 
 
@@ -483,6 +529,7 @@ def _run_trace_arrivals(scenario: TraceArrivalsScenario) -> tuple[str, dict[str,
         batch_size=scenario.batch_size,
         facs_config=FACSConfig(engine=scenario.engine),
     )
+    frame = MetricsFrame.from_run_results([result.to_run_result(seed=scenario.seed)])
     metrics = {
         "type": "trace-arrivals",
         "controller": result.controller,
@@ -491,6 +538,7 @@ def _run_trace_arrivals(scenario: TraceArrivalsScenario) -> tuple[str, dict[str,
         "acceptance_percentage": result.acceptance_percentage,
         "batch_size": result.batch_size,
         "peak_occupancy_bu": result.peak_occupancy_bu,
+        "frame": metrics_frame_to_dict(frame),
         "batches": [
             {
                 "index": record.index,

@@ -10,6 +10,7 @@ CAC literature uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar, Sequence
 
 from .calls import Call, CallState, CallType
 from .traffic import ServiceClass
@@ -30,6 +31,48 @@ class CallMetrics:
     handoff_accepted: int
     accepted_bu: int
     requested_bu: int
+
+    #: Counter field names in declaration order — the fixed column schema the
+    #: columnar result store (:mod:`repro.analysis.frame`) carries per run.
+    COUNTER_FIELDS: ClassVar[tuple[str, ...]] = (
+        "requested",
+        "accepted",
+        "blocked",
+        "completed",
+        "dropped",
+        "handoff_requests",
+        "handoff_accepted",
+        "accepted_bu",
+        "requested_bu",
+    )
+
+    def as_counters(self) -> tuple[int, ...]:
+        """The counters as a plain tuple in :data:`COUNTER_FIELDS` order.
+
+        Spelled out (not a getattr loop): this sits on the per-row hot
+        path of the columnar result store.
+        """
+        return (
+            self.requested,
+            self.accepted,
+            self.blocked,
+            self.completed,
+            self.dropped,
+            self.handoff_requests,
+            self.handoff_accepted,
+            self.accepted_bu,
+            self.requested_bu,
+        )
+
+    @classmethod
+    def from_counters(cls, counters: Sequence[int]) -> "CallMetrics":
+        """Rebuild a metrics record from an :meth:`as_counters` tuple."""
+        if len(counters) != len(cls.COUNTER_FIELDS):
+            raise ValueError(
+                f"expected {len(cls.COUNTER_FIELDS)} counters "
+                f"({', '.join(cls.COUNTER_FIELDS)}), got {len(counters)}"
+            )
+        return cls(*(int(value) for value in counters))
 
     # ------------------------------------------------------------------
     @property

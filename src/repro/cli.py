@@ -270,6 +270,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the campaign's pool size (requires a pool executor)",
     )
+    campaign.add_argument(
+        "--reuse-saved",
+        metavar="DIR",
+        default=None,
+        help="skip members whose saved RunReport in DIR already matches the "
+        "resolved scenario (reports written by `run --save` or a previous "
+        "campaign); only cache misses are re-run",
+    )
     return parser
 
 
@@ -463,7 +471,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(f"cannot read campaign config: {exc}")
         except ScenarioError as exc:
             parser.error(str(exc))
-        return _emit_report(CampaignRunner().run(campaign), args)
+        return _emit_report(
+            CampaignRunner(reuse_saved=args.reuse_saved).run(campaign), args
+        )
 
     if args.command in ("run", "network-sweep"):
         if args.workers is not None and args.executor == "serial":

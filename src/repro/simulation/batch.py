@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..analysis.frame import FrameRow, run_result_row
 from ..cac.base import AdmissionController
 from ..cellular.calls import Call, CallType
 from ..cellular.cell import BaseStation
@@ -28,7 +29,13 @@ from ..des.rng import StreamFactory
 from .config import BatchExperimentConfig
 from .results import RunResult
 
-__all__ = ["BatchCallRecord", "BatchRunOutput", "build_requests", "run_batch_experiment"]
+__all__ = [
+    "BatchCallRecord",
+    "BatchRunOutput",
+    "build_requests",
+    "run_batch_experiment",
+    "run_batch_experiment_row",
+]
 
 ControllerFactory = Callable[[], AdmissionController]
 
@@ -186,3 +193,19 @@ def run_batch_experiment(
         records=tuple(records),
         peak_occupancy_bu=peak_occupancy,
     )
+
+
+def run_batch_experiment_row(
+    config: BatchExperimentConfig,
+    controller_factory: ControllerFactory,
+    label: str | None = None,
+) -> FrameRow:
+    """Run one batch experiment and emit its compact counter row.
+
+    This is what sweep workers return instead of the heavyweight run
+    output: a flat tuple of counters and parameters the columnar
+    :class:`~repro.analysis.frame.MetricsFrame` stacks and
+    ``group_reduce``-s, so nothing richer ever crosses a process boundary.
+    """
+    result = run_batch_experiment(config, controller_factory).result
+    return run_result_row(result, label=label, replication=config.replication)

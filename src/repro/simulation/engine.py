@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
+from ..analysis.frame import FrameRow, network_output_row
 from ..cac.base import AdmissionController
 from ..cellular.calls import Call, CallType
 from ..cellular.cell import Cell
@@ -27,7 +28,12 @@ from ..des.rng import RandomStream, StreamFactory
 from .config import NetworkExperimentConfig
 from .results import RunResult
 
-__all__ = ["NetworkRunOutput", "NetworkSimulation", "run_network_experiment"]
+__all__ = [
+    "NetworkRunOutput",
+    "NetworkSimulation",
+    "run_network_experiment",
+    "run_network_experiment_row",
+]
 
 ControllerFactory = Callable[[], AdmissionController]
 
@@ -276,3 +282,19 @@ def run_network_experiment(
 ) -> NetworkRunOutput:
     """Convenience wrapper: build and run a :class:`NetworkSimulation`."""
     return NetworkSimulation(config, controller_factory).run()
+
+
+def run_network_experiment_row(
+    config: NetworkExperimentConfig,
+    controller_factory: ControllerFactory,
+    label: str | None = None,
+) -> FrameRow:
+    """Run one network experiment and emit its compact counter row.
+
+    The sweep workers' return value: the flat counter/parameter tuple the
+    columnar :class:`~repro.analysis.frame.MetricsFrame` is built from,
+    replacing the pickled :class:`NetworkRunOutput` trees that used to
+    travel from process-pool workers back to the parent.
+    """
+    output = NetworkSimulation(config, controller_factory).run()
+    return network_output_row(output, label=label, replication=config.replication)

@@ -33,7 +33,7 @@ import os
 import pickle
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from ..registry import Registry, RegistryError
 
@@ -43,6 +43,8 @@ __all__ = [
     "ProcessPoolSweepExecutor",
     "ThreadPoolSweepExecutor",
     "SweepExecutionError",
+    "TaskReducer",
+    "default_chunksize",
     "executor_by_name",
     "EXECUTORS",
     "EXECUTOR_CHOICES",
@@ -50,6 +52,60 @@ __all__ = [
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def default_chunksize(task_count: int, workers: int) -> int:
+    """A few chunks per worker: amortise the per-task submit/pickle cost.
+
+    Thousand-task sharded sweeps used to pay one pool submission (and, on
+    the process backend, one pickle round) per task; batching ~4 chunks
+    per worker removes that overhead without starving the pool when task
+    durations vary (heavier request counts take longer).
+    """
+    return max(1, task_count // (4 * max(workers, 1)))
+
+
+def _chunked(tasks: Sequence[T], chunksize: int) -> list[Sequence[T]]:
+    """Split ``tasks`` into contiguous, order-preserving chunks."""
+    return [tasks[i : i + chunksize] for i in range(0, len(tasks), chunksize)]
+
+
+class TaskReducer(ABC):
+    """Protocol for :meth:`SweepExecutor.map_reduce` reductions.
+
+    ``fold`` turns one chunk's per-task results into a compact partial
+    (it runs *inside the worker* on the process backend, so the heavyweight
+    per-task results never cross the process boundary); ``pack``/``unpack``
+    translate a partial to/from a small picklable descriptor for the IPC
+    hop (identity by default); ``merge`` combines the partials in task
+    order in the parent.  ``merge`` over any chunking must equal one
+    ``fold`` over all results — that associativity is what keeps reduced
+    results byte-identical for every backend and worker count.
+
+    Executors call these four methods structurally; implementations do not
+    have to subclass (see :class:`repro.analysis.frame.FrameReducer`).
+    """
+
+    @abstractmethod
+    def fold(self, results: Iterable[R]) -> Any:
+        """Combine one chunk of per-task results into a partial."""
+
+    def pack(self, partial: Any) -> Any:
+        """Worker-side: encode a partial for the trip to the parent."""
+        return partial
+
+    def unpack(self, packed: Any) -> Any:
+        """Parent-side: decode a worker's packed partial."""
+        return packed
+
+    @abstractmethod
+    def merge(self, partials: Sequence[Any]) -> Any:
+        """Combine the chunk partials, in task order, into the final result."""
+
+
+def _map_reduce_chunk(fn, reducer, chunk):
+    """Fold one chunk in a worker; module-level so process pools can pickle it."""
+    return reducer.pack(reducer.fold([fn(task) for task in chunk]))
 
 #: Registry of executor backends: name → builder ``(workers) -> SweepExecutor``.
 #: Registration order defines the CLI ``--executor`` choices; aliases
@@ -69,6 +125,20 @@ class SweepExecutor(ABC):
     @abstractmethod
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every task, returning results in task order."""
+
+    def map_reduce(
+        self, fn: Callable[[T], R], tasks: Sequence[T], reducer: TaskReducer
+    ) -> Any:
+        """Apply ``fn`` to every task and reduce the results via ``reducer``.
+
+        The default (serial) implementation folds everything in one
+        in-process pass; the pool backends override it to fold per chunk —
+        inside the worker on the process pool, so only the packed partials
+        travel back to the parent.  Because ``reducer.merge`` over any
+        chunking equals one fold over all results, the reduced value is
+        identical for every backend and worker count.
+        """
+        return reducer.merge([reducer.fold(fn(task) for task in tasks)])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -95,10 +165,13 @@ class ProcessPoolSweepExecutor(SweepExecutor):
 
     name = "process"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, chunksize: int | None = None):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be at least 1, got {max_workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be at least 1, got {chunksize}")
         self.max_workers = max_workers
+        self.chunksize = chunksize
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessPoolSweepExecutor(max_workers={self.max_workers})"
@@ -110,26 +183,79 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         "lambdas or closures"
     )
 
+    def _workers_for(self, task_count: int) -> int:
+        workers = self.max_workers or os.cpu_count() or 1
+        return min(workers, task_count)
+
+    def _preflight(self, *payload) -> None:
+        # Cheap pre-flight on one representative task; heterogeneous task
+        # lists are still covered by the translation around the pool below.
+        try:
+            pickle.dumps(payload)
+        except Exception as exc:
+            raise SweepExecutionError(f"{self._PICKLE_HINT} ({exc})") from exc
+
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
         tasks = list(tasks)
         if not tasks:
             return []
-        # Cheap pre-flight on one representative task; heterogeneous task
-        # lists are still covered by the translation around the pool below.
-        try:
-            pickle.dumps((fn, tasks[0]))
-        except Exception as exc:
-            raise SweepExecutionError(f"{self._PICKLE_HINT} ({exc})") from exc
-        workers = self.max_workers or os.cpu_count() or 1
-        workers = min(workers, len(tasks))
-        # A few chunks per worker amortises pickling without starving the
-        # pool when task durations vary (heavier request counts take longer).
-        chunksize = max(1, len(tasks) // (4 * workers))
+        self._preflight(fn, tasks[0])
+        workers = self._workers_for(len(tasks))
+        chunksize = self.chunksize or default_chunksize(len(tasks), workers)
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(fn, tasks, chunksize=chunksize))
         except pickle.PicklingError as exc:
             raise SweepExecutionError(f"{self._PICKLE_HINT} ({exc})") from exc
+
+    def map_reduce(
+        self, fn: Callable[[T], R], tasks: Sequence[T], reducer: TaskReducer
+    ) -> Any:
+        """Fold chunks inside the workers; only packed partials come back.
+
+        This is the shared-memory aggregation seam: with a reducer like
+        :class:`repro.analysis.frame.FrameReducer`, each worker folds its
+        chunk of counter rows into a columnar frame and ships raw column
+        buffers through shared memory — the per-task result objects are
+        never pickled back to the parent.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return reducer.merge([reducer.fold([])])
+        self._preflight(fn, reducer, tasks[0])
+        workers = self._workers_for(len(tasks))
+        chunks = _chunked(
+            tasks, self.chunksize or default_chunksize(len(tasks), workers)
+        )
+        # Per-chunk futures (not pool.map): on a task failure every chunk
+        # that *did* complete must still be unpacked, or its packed partial
+        # — a shared-memory segment whose ownership the worker already
+        # handed to this parent — would outlive the process in /dev/shm.
+        packed: list = []
+        first_error: BaseException | None = None
+        with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+            futures = [
+                pool.submit(_map_reduce_chunk, fn, reducer, chunk)
+                for chunk in chunks
+            ]
+            for future in futures:
+                try:
+                    packed.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = exc
+        if first_error is not None:
+            for partial in packed:
+                try:
+                    reducer.unpack(partial)  # releases the shm segment
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
+            if isinstance(first_error, pickle.PicklingError):
+                raise SweepExecutionError(
+                    f"{self._PICKLE_HINT} ({first_error})"
+                ) from first_error
+            raise first_error
+        return reducer.merge([reducer.unpack(p) for p in packed])
 
 
 class ThreadPoolSweepExecutor(SweepExecutor):
@@ -152,22 +278,47 @@ class ThreadPoolSweepExecutor(SweepExecutor):
 
     name = "thread"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, chunksize: int | None = None):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be at least 1, got {max_workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be at least 1, got {chunksize}")
         self.max_workers = max_workers
+        self.chunksize = chunksize
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ThreadPoolSweepExecutor(max_workers={self.max_workers})"
+
+    def _plan(self, tasks: Sequence[T]) -> tuple[int, list[Sequence[T]]]:
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = min(workers, len(tasks))
+        chunksize = self.chunksize or default_chunksize(len(tasks), workers)
+        return workers, _chunked(tasks, chunksize)
 
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
         tasks = list(tasks)
         if not tasks:
             return []
-        workers = self.max_workers or os.cpu_count() or 1
-        workers = min(workers, len(tasks))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, tasks))
+        workers, chunks = self._plan(tasks)
+        # ThreadPoolExecutor.map ignores chunksize, so chunk explicitly:
+        # one submission per chunk instead of one per task.
+        with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+            chunked = list(pool.map(lambda chunk: [fn(t) for t in chunk], chunks))
+        return [result for chunk in chunked for result in chunk]
+
+    def map_reduce(
+        self, fn: Callable[[T], R], tasks: Sequence[T], reducer: TaskReducer
+    ) -> Any:
+        """Fold per chunk in the pool; no pack/unpack hop (same process)."""
+        tasks = list(tasks)
+        if not tasks:
+            return reducer.merge([reducer.fold([])])
+        workers, chunks = self._plan(tasks)
+        with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+            partials = list(
+                pool.map(lambda chunk: reducer.fold([fn(t) for t in chunk]), chunks)
+            )
+        return reducer.merge(partials)
 
 
 @EXECUTORS.register("serial")

@@ -1,4 +1,15 @@
-"""Result records and aggregation across replications."""
+"""Result records and aggregation across replications.
+
+The dataclasses here are the stable row-level vocabulary of the result
+path; since the columnar refactor they double as *views* over
+:class:`repro.analysis.frame.MetricsFrame` rows
+(:meth:`MetricsFrame.run_result`, :meth:`FrameGroup.to_aggregated_result`).
+The ``aggregate_runs``/``aggregate_network_runs`` loops below remain the
+executable specification of the replication statistics — the frame's
+``group_reduce`` shares their exact arithmetic through
+:func:`repro.analysis.stats.series_mean`/``series_sample_std`` and is
+property-tested bit-identical against them.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +17,7 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
+from ..analysis.stats import series_mean, series_sample_std
 from ..cellular.metrics import CallMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
@@ -75,19 +87,15 @@ def aggregate_runs(runs: Sequence[RunResult]) -> AggregatedResult:
     acceptance = [run.acceptance_percentage for run in runs]
     blocking = [run.blocking_probability for run in runs]
     dropping = [run.dropping_probability for run in runs]
-    mean_acc = sum(acceptance) / len(acceptance)
-    if len(acceptance) > 1:
-        variance = sum((a - mean_acc) ** 2 for a in acceptance) / (len(acceptance) - 1)
-    else:
-        variance = 0.0
+    mean_acc = series_mean(acceptance)
     return AggregatedResult(
         controller=runs[0].controller,
         parameters=dict(runs[0].parameters),
         replications=len(runs),
         mean_acceptance_percentage=mean_acc,
-        std_acceptance_percentage=math.sqrt(variance),
-        mean_blocking_probability=sum(blocking) / len(blocking),
-        mean_dropping_probability=sum(dropping) / len(dropping),
+        std_acceptance_percentage=series_sample_std(acceptance, mean_acc),
+        mean_blocking_probability=series_mean(blocking),
+        mean_dropping_probability=series_mean(dropping),
     )
 
 
@@ -124,21 +132,18 @@ def aggregate_network_runs(
     if len(controllers) != 1:
         raise ValueError(f"runs mix controllers: {sorted(controllers)}")
     acceptance = [run.acceptance_percentage for run in runs]
-    mean_acc = sum(acceptance) / len(acceptance)
-    if len(acceptance) > 1:
-        variance = sum((a - mean_acc) ** 2 for a in acceptance) / (len(acceptance) - 1)
-    else:
-        variance = 0.0
-    count = len(outputs)
+    mean_acc = series_mean(acceptance)
     return NetworkAggregatedResult(
         controller=runs[0].controller,
         parameters=dict(runs[0].parameters),
-        replications=count,
+        replications=len(outputs),
         mean_acceptance_percentage=mean_acc,
-        std_acceptance_percentage=math.sqrt(variance),
-        mean_blocking_probability=sum(r.blocking_probability for r in runs) / count,
-        mean_dropping_probability=sum(r.dropping_probability for r in runs) / count,
-        mean_handoff_failure_ratio=(sum(o.handoff_failure_ratio for o in outputs) / count),
-        mean_handoff_attempts=sum(o.handoff_attempts for o in outputs) / count,
-        mean_occupancy_bu=sum(o.time_average_occupancy_bu for o in outputs) / count,
+        std_acceptance_percentage=series_sample_std(acceptance, mean_acc),
+        mean_blocking_probability=series_mean([r.blocking_probability for r in runs]),
+        mean_dropping_probability=series_mean([r.dropping_probability for r in runs]),
+        mean_handoff_failure_ratio=series_mean(
+            [o.handoff_failure_ratio for o in outputs]
+        ),
+        mean_handoff_attempts=series_mean([o.handoff_attempts for o in outputs]),
+        mean_occupancy_bu=series_mean([o.time_average_occupancy_bu for o in outputs]),
     )

@@ -14,6 +14,15 @@ the process-pool backend fans the tasks across cores.  Either way the tasks
 carry their full seeded configuration and the results are reassembled in
 task order, so the returned :class:`SweepResult` is identical for every
 backend and worker count.
+
+Aggregation is columnar: workers emit compact counter rows
+(:class:`~repro.analysis.frame.FrameRow`), the executor's ``map_reduce``
+folds them into chunk-local :class:`~repro.analysis.frame.MetricsFrame`
+column buffers (shared-memory backed on the process pool, so no run output
+is ever pickled back to the parent), and the per-point statistics come out
+of :meth:`MetricsFrame.group_reduce` — bit-identical to the historical
+``aggregate_runs``/``aggregate_network_runs`` loops.  The assembled sweep
+result carries the frame on its ``frame`` field.
 """
 
 from __future__ import annotations
@@ -22,18 +31,15 @@ import sys
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
+import numpy as np
+
+from ..analysis.frame import FrameReducer, FrameRow, MetricsFrame
 from ..cellular.network import hex_cell_count
-from .batch import ControllerFactory, run_batch_experiment
+from .batch import ControllerFactory, run_batch_experiment, run_batch_experiment_row
 from .config import BatchExperimentConfig, NetworkExperimentConfig, PAPER_REQUEST_COUNTS
-from .engine import NetworkRunOutput, run_network_experiment
+from .engine import run_network_experiment_row
 from .executor import SerialExecutor, SweepExecutor, executor_by_name
-from .results import (
-    AggregatedResult,
-    NetworkAggregatedResult,
-    RunResult,
-    aggregate_network_runs,
-    aggregate_runs,
-)
+from .results import AggregatedResult, NetworkAggregatedResult, RunResult
 
 __all__ = [
     "SweepPoint",
@@ -110,10 +116,17 @@ class SweepCurve:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """A family of curves sharing the same x axis (one per figure)."""
+    """A family of curves sharing the same x axis (one per figure).
+
+    ``frame`` carries the underlying columnar record store (one row per
+    replication) when the sweep ran through the frame path; it is excluded
+    from equality so codec round-trips of the rendered curves still
+    compare equal.
+    """
 
     name: str
     curves: tuple[SweepCurve, ...]
+    frame: MetricsFrame | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         # Indexed lookup for curve(); first curve wins on duplicate labels,
@@ -154,6 +167,22 @@ class ReplicationTask:
 def _execute_replication(task: ReplicationTask) -> RunResult:
     """Run one replication; module-level so process pools can pickle it."""
     return run_batch_experiment(task.config, task.controller_factory).result
+
+
+def _execute_replication_row(task: ReplicationTask) -> FrameRow:
+    """Run one replication, returning only its compact counter row."""
+    return run_batch_experiment_row(task.config, task.controller_factory, label=task.label)
+
+
+def _sweep_ordinals(
+    n_curves: int, n_points: int, runs_per_point: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """(curve, point) ordinals of a curve-major, point-minor task list."""
+    curve = np.repeat(np.arange(n_curves, dtype=np.int64), n_points * runs_per_point)
+    point = np.tile(
+        np.repeat(np.arange(n_points, dtype=np.int64), runs_per_point), n_curves
+    )
+    return curve, point
 
 
 def _resolve_executor(executor: SweepExecutor | str | None) -> SweepExecutor:
@@ -210,22 +239,27 @@ def run_acceptance_sweep(
                     )
                 )
 
-    results = backend.map(_execute_replication, tasks)
-    if len(results) != len(tasks):  # pragma: no cover - defensive
+    frame = backend.map_reduce(_execute_replication_row, tasks, FrameReducer("batch"))
+    if len(frame) != len(tasks):  # pragma: no cover - defensive
         raise RuntimeError(
-            f"executor {backend.name!r} returned {len(results)} results "
+            f"executor {backend.name!r} returned {len(frame)} rows "
             f"for {len(tasks)} tasks"
         )
 
-    # Reassemble in the same nested order the tasks were generated in.
-    cursor = iter(results)
+    # Group by (curve, point) ordinals — the same nested order the tasks
+    # were generated in, so the statistics match the historical
+    # aggregate_runs() walk bit for bit.
+    frame = frame.with_ordinals(
+        *_sweep_ordinals(len(variants), len(request_counts), replications)
+    )
+    groups = frame.group_reduce(("curve", "point"))
     curves: list[SweepCurve] = []
-    for label in variants:
+    for curve_index, label in enumerate(variants):
         points: list[SweepPoint] = []
         controller_name = ""
-        for request_count in request_counts:
-            runs = [next(cursor) for _ in range(replications)]
-            aggregated: AggregatedResult = aggregate_runs(runs)
+        for point_index, request_count in enumerate(request_counts):
+            group = groups[curve_index * len(request_counts) + point_index]
+            aggregated: AggregatedResult = group.to_aggregated_result()
             controller_name = aggregated.controller
             points.append(
                 SweepPoint(
@@ -236,7 +270,7 @@ def run_acceptance_sweep(
                 )
             )
         curves.append(SweepCurve(label=label, controller=controller_name, points=tuple(points)))
-    return SweepResult(name=name, curves=tuple(curves))
+    return SweepResult(name=name, curves=tuple(curves), frame=frame)
 
 
 # ----------------------------------------------------------------------
@@ -306,9 +340,16 @@ class NetworkReplicationTask:
     controller_factory: ControllerFactory
 
 
-def _execute_network_replication(task: NetworkReplicationTask) -> NetworkRunOutput:
-    """Run one network replication; module-level so process pools can pickle it."""
-    return run_network_experiment(task.config, task.controller_factory)
+def _execute_network_replication_row(task: NetworkReplicationTask) -> FrameRow:
+    """Run one network replication, returning only its compact counter row.
+
+    This is the worker function of the frame path: process-pool workers
+    fold these rows into shared-memory column buffers instead of pickling
+    :class:`NetworkRunOutput` trees back to the parent.
+    """
+    return run_network_experiment_row(
+        task.config, task.controller_factory, label=task.label
+    )
 
 
 @dataclass(frozen=True)
@@ -371,10 +412,16 @@ class NetworkSweepCurve:
 
 @dataclass(frozen=True)
 class NetworkSweepResult:
-    """A family of per-controller QoS curves over the arrival-rate axis."""
+    """A family of per-controller QoS curves over the arrival-rate axis.
+
+    ``frame`` carries the underlying columnar record store (one row per
+    run) when the sweep ran through the frame path; excluded from
+    equality so codec round-trips of the rendered curves compare equal.
+    """
 
     name: str
     curves: tuple[NetworkSweepCurve, ...]
+    frame: MetricsFrame | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         index: dict[str, NetworkSweepCurve] = {}
@@ -397,23 +444,30 @@ class NetworkSweepResult:
 
 def _assemble_network_result(
     spec: NetworkSweepSpec,
-    outputs: Sequence[NetworkRunOutput],
+    frame: MetricsFrame,
     runs_per_point: int,
     name: str,
 ) -> NetworkSweepResult:
-    """Pool executor outputs (in task order) into the per-point statistics.
+    """Reduce the sweep's frame (rows in task order) into point statistics.
 
     Shared by the coupled and sharded sweeps; they differ only in how many
     runs make up one point (``replications`` vs ``cells x replications``).
+    The (curve, point) ordinal grouping walks the rows in exactly the
+    nested task-generation order, so the statistics match the historical
+    aggregate_network_runs() walk bit for bit.
     """
-    cursor = iter(outputs)
+    frame = frame.with_ordinals(
+        *_sweep_ordinals(len(spec.controllers), len(spec.arrival_rates), runs_per_point)
+    )
+    groups = frame.group_reduce(("curve", "point"))
+    n_rates = len(spec.arrival_rates)
     curves: list[NetworkSweepCurve] = []
-    for label in spec.controllers:
+    for curve_index, label in enumerate(spec.controllers):
         points: list[NetworkSweepPoint] = []
         controller_name = ""
-        for rate in spec.arrival_rates:
-            runs = [next(cursor) for _ in range(runs_per_point)]
-            aggregated: NetworkAggregatedResult = aggregate_network_runs(runs)
+        for point_index, rate in enumerate(spec.arrival_rates):
+            group = groups[curve_index * n_rates + point_index]
+            aggregated: NetworkAggregatedResult = group.to_network_aggregated_result()
             controller_name = aggregated.controller
             points.append(
                 NetworkSweepPoint(
@@ -430,7 +484,7 @@ def _assemble_network_result(
         curves.append(
             NetworkSweepCurve(label=label, controller=controller_name, points=tuple(points))
         )
-    return NetworkSweepResult(name=name, curves=tuple(curves))
+    return NetworkSweepResult(name=name, curves=tuple(curves), frame=frame)
 
 
 def run_network_sweep(
@@ -447,13 +501,15 @@ def run_network_sweep(
     """
     backend = _resolve_executor(executor)
     tasks = spec.tasks()
-    outputs = backend.map(_execute_network_replication, tasks)
-    if len(outputs) != len(tasks):  # pragma: no cover - defensive
+    frame = backend.map_reduce(
+        _execute_network_replication_row, tasks, FrameReducer("network")
+    )
+    if len(frame) != len(tasks):  # pragma: no cover - defensive
         raise RuntimeError(
-            f"executor {backend.name!r} returned {len(outputs)} results "
+            f"executor {backend.name!r} returned {len(frame)} rows "
             f"for {len(tasks)} tasks"
         )
-    return _assemble_network_result(spec, outputs, spec.replications, spec.name)
+    return _assemble_network_result(spec, frame, spec.replications, spec.name)
 
 
 # ----------------------------------------------------------------------
@@ -508,12 +564,14 @@ def run_sharded_network_sweep(
                         )
                     )
 
-    outputs = backend.map(_execute_network_replication, tasks)
-    if len(outputs) != len(tasks):  # pragma: no cover - defensive
+    frame = backend.map_reduce(
+        _execute_network_replication_row, tasks, FrameReducer("network")
+    )
+    if len(frame) != len(tasks):  # pragma: no cover - defensive
         raise RuntimeError(
-            f"executor {backend.name!r} returned {len(outputs)} results "
+            f"executor {backend.name!r} returned {len(frame)} rows "
             f"for {len(tasks)} tasks"
         )
     return _assemble_network_result(
-        spec, outputs, spec.replications * cells, f"{spec.name}-sharded"
+        spec, frame, spec.replications * cells, f"{spec.name}-sharded"
     )

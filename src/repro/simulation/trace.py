@@ -30,9 +30,11 @@ from dataclasses import dataclass
 from ..cac.facs.system import FACSConfig, FuzzyAdmissionControlSystem
 from ..cellular.calls import Call
 from ..cellular.cell import BaseStation
+from ..cellular.metrics import CallMetrics
 from ..des.rng import StreamFactory
 from .batch import build_requests
 from .config import BatchExperimentConfig
+from .results import RunResult
 
 __all__ = ["TraceBatchRecord", "TraceRunResult", "run_trace_arrivals"]
 
@@ -59,12 +61,35 @@ class TraceRunResult:
     batch_size: int
     peak_occupancy_bu: int
     batches: tuple[TraceBatchRecord, ...]
+    metrics: CallMetrics | None = None
 
     @property
     def acceptance_percentage(self) -> float:
         if self.requested == 0:
             return 0.0
         return 100.0 * self.accepted / self.requested
+
+    def to_run_result(self, seed: int = 0) -> RunResult:
+        """The trace run as a counter row for the columnar result store.
+
+        ``completed`` counts the departures replayed within the trace
+        horizon (calls still holding bandwidth after the last batch are
+        admitted but not yet complete).
+        """
+        if self.metrics is None:
+            raise ValueError(
+                "this TraceRunResult carries no counter metrics; "
+                "run_trace_arrivals populates them"
+            )
+        return RunResult(
+            controller=self.controller,
+            metrics=self.metrics,
+            parameters={
+                "request_count": float(self.requested),
+                "batch_size": float(self.batch_size),
+            },
+            seed=seed,
+        )
 
 
 def run_trace_arrivals(
@@ -94,6 +119,9 @@ def run_trace_arrivals(
     records: list[TraceBatchRecord] = []
     accepted_total = 0
     peak_occupancy = 0
+    completed = 0
+    accepted_bu = 0
+    requested_bu = sum(call.bandwidth_units for call in requests)
 
     for index in range(0, len(requests), batch_size):
         batch = requests[index : index + batch_size]
@@ -103,6 +131,7 @@ def run_trace_arrivals(
             station.release(departed)
             departed.complete(departure_time)
             controller.on_released(departed, station, departure_time)
+            completed += 1
 
         occupancy_before = station.used_bu
         decision = controller.decide_batch(batch, station, now)
@@ -118,6 +147,7 @@ def run_trace_arrivals(
                     (call.requested_at + call.holding_time_s, call.call_id, call),
                 )
                 accepted_in_batch += 1
+                accepted_bu += call.bandwidth_units
                 peak_occupancy = max(peak_occupancy, station.used_bu)
             else:
                 call.block(now, station.station_id)
@@ -140,4 +170,15 @@ def run_trace_arrivals(
         batch_size=batch_size,
         peak_occupancy_bu=peak_occupancy,
         batches=tuple(records),
+        metrics=CallMetrics(
+            requested=len(requests),
+            accepted=accepted_total,
+            blocked=len(requests) - accepted_total,
+            completed=completed,
+            dropped=0,
+            handoff_requests=0,
+            handoff_accepted=0,
+            accepted_bu=accepted_bu,
+            requested_bu=requested_bu,
+        ),
     )

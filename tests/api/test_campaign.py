@@ -8,6 +8,7 @@ from dataclasses import replace
 import pytest
 
 from repro.api import (
+    SCHEMA_VERSION,
     Campaign,
     CampaignError,
     CampaignMember,
@@ -123,10 +124,10 @@ class TestRoundTrip:
 
     def test_payload_is_schema_versioned(self):
         payload = small_campaign().to_dict()
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == SCHEMA_VERSION
         assert payload["type"] == "campaign"
         for entry in payload["members"]:
-            assert entry["scenario"]["schema_version"] == 1
+            assert entry["scenario"]["schema_version"] == SCHEMA_VERSION
 
     def test_v0_payload_still_decodes(self):
         payload = small_campaign().to_dict()

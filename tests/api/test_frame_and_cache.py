@@ -1,0 +1,230 @@
+"""New v2 API surfaces: frame payloads in reports, comparison baselines
+and the campaign member cache (--reuse-saved)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    Campaign,
+    CampaignError,
+    CampaignMember,
+    CampaignRunner,
+    ComparisonSpec,
+    Runner,
+    Scenario,
+    metrics_frame_from_dict,
+    report_stem,
+    run_campaign,
+)
+from repro.cli import main
+
+
+def _member(member_id: str, payload: dict) -> CampaignMember:
+    return CampaignMember(id=member_id, scenario=Scenario.from_dict(payload))
+
+
+def _fig7(**overrides) -> dict:
+    payload = {
+        "kind": "figure-sweep",
+        "figure": "fig7-speed",
+        "request_counts": [10, 20],
+        "replications": 1,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestReportFramePayload:
+    def test_figure_sweep_report_carries_a_decodable_frame(self):
+        report = Runner().run(Scenario.from_dict(_fig7()))
+        payload = report.metrics["frame"]
+        assert payload["type"] == "metrics-frame"
+        frame = metrics_frame_from_dict(payload)
+        assert frame.kind == "batch"
+        # one row per (curve, point, replication)
+        curves = len(report.metrics["curves"])
+        points = len(report.metrics["curves"][0]["points"])
+        assert len(frame) == curves * points * 1
+        # The frame reduces back to the rendered curve values.
+        groups = frame.group_reduce(("curve", "point"))
+        assert (
+            groups[0].mean_acceptance_percentage
+            == report.metrics["curves"][0]["points"][0]["acceptance_percentage"]
+        )
+
+    def test_network_sweep_report_carries_a_network_frame(self):
+        scenario = Scenario.from_dict(
+            {
+                "kind": "network-sweep",
+                "controllers": ["CS"],
+                "arrival_rates": [0.03],
+                "replications": 1,
+                "duration_s": 60.0,
+                "rings": 0,
+            }
+        )
+        report = Runner().run(scenario)
+        frame = metrics_frame_from_dict(report.metrics["frame"])
+        assert frame.kind == "network"
+        assert len(frame) == 1
+
+    def test_trace_report_carries_a_single_row_frame(self):
+        scenario = Scenario.from_dict(
+            {"kind": "trace-arrivals", "request_count": 30, "batch_size": 8}
+        )
+        report = Runner().run(scenario)
+        frame = metrics_frame_from_dict(report.metrics["frame"])
+        assert len(frame) == 1
+        (run,) = frame.run_results()
+        assert run.metrics.requested == 30
+        assert run.metrics.accepted == report.metrics["accepted"]
+        assert run.metrics.accepted >= run.metrics.completed
+
+    def test_cli_json_report_exposes_the_frame(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "fig7-speed",
+                    "--replications",
+                    "1",
+                    "--requests",
+                    "10",
+                    "20",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["frame"]["type"] == "metrics-frame"
+
+
+class TestComparisonBaseline:
+    def _campaign(self, baseline: str | None) -> Campaign:
+        return Campaign(
+            name="baseline-study",
+            members=(
+                _member("fast", _fig7(curve_values=[60.0])),
+                _member("slow", _fig7(curve_values=[4.0])),
+            ),
+            comparison=ComparisonSpec(
+                metrics=("mean_acceptance",), baseline=baseline
+            ),
+        )
+
+    def test_baseline_adds_delta_columns_and_payload(self):
+        report = run_campaign(self._campaign("slow"))
+        assert "Δmean_acceptance" in report.comparison_text
+        assert "Δ vs slow" in report.comparison_text
+        assert report.comparison["baseline"] == "slow"
+        rows = {row["scenario"]: row for row in report.comparison["rows"]}
+        assert rows["slow"]["deltas"]["mean_acceptance"] == 0.0
+        baseline_value = rows["slow"]["values"]["mean_acceptance"]
+        fast_value = rows["fast"]["values"]["mean_acceptance"]
+        assert rows["fast"]["deltas"]["mean_acceptance"] == fast_value - baseline_value
+
+    def test_without_baseline_payload_shape_is_unchanged(self):
+        report = run_campaign(self._campaign(None))
+        assert "baseline" not in report.comparison
+        assert all("deltas" not in row for row in report.comparison["rows"])
+        assert "Δ" not in report.comparison_text
+
+    def test_unknown_baseline_member_rejected(self):
+        with pytest.raises(CampaignError, match="baseline 'nope' is not a member"):
+            self._campaign("nope")
+
+    def test_baseline_round_trips_through_campaign_json(self):
+        campaign = self._campaign("slow")
+        restored = Campaign.from_json(campaign.to_json())
+        assert restored == campaign
+        assert restored.comparison.baseline == "slow"
+
+    def test_v1_comparison_spec_without_baseline_still_decodes(self):
+        spec = ComparisonSpec.from_dict({"metrics": ["mean_acceptance"]})
+        assert spec.baseline is None
+
+
+class TestMemberCache:
+    def _campaign(self) -> Campaign:
+        return Campaign(
+            name="cache-study",
+            members=(
+                _member("table", {"kind": "artifact", "artifact": "table1-frb1"}),
+                _member("fig7", _fig7()),
+            ),
+        )
+
+    def test_cache_hits_skip_execution_and_keep_reports_identical(
+        self, tmp_path, monkeypatch
+    ):
+        campaign = self._campaign()
+        uncached = CampaignRunner().run(campaign)
+        for report in uncached.reports:
+            report.save(tmp_path)
+
+        executed: list[str] = []
+        import repro.api.campaign as campaign_module
+
+        original = campaign_module._execute_scenario
+
+        def spying_execute(scenario):
+            executed.append(scenario.slug)
+            return original(scenario)
+
+        monkeypatch.setattr(campaign_module, "_execute_scenario", spying_execute)
+        cached = CampaignRunner(reuse_saved=tmp_path).run(campaign)
+        assert executed == []  # every member came from the cache
+        assert cached.to_json() == uncached.to_json()
+
+    def test_cache_misses_still_run(self, tmp_path):
+        campaign = self._campaign()
+        # Save only the artifact member's report.
+        uncached = CampaignRunner().run(campaign)
+        uncached.reports[0].save(tmp_path)
+        cached = CampaignRunner(reuse_saved=tmp_path).run(campaign)
+        assert cached.to_json() == uncached.to_json()
+
+    def test_stale_cache_entries_are_ignored(self, tmp_path):
+        campaign = self._campaign()
+        uncached = CampaignRunner().run(campaign)
+        # A saved report for a *different* parameterization of fig7 must
+        # not satisfy this campaign's member.
+        other = Runner().run(Scenario.from_dict(_fig7(request_counts=[10, 30])))
+        other.save(tmp_path)
+        cached = CampaignRunner(reuse_saved=tmp_path).run(campaign)
+        assert cached.to_json() == uncached.to_json()
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        campaign = self._campaign()
+        scenario = campaign.resolved_scenarios()[1]
+        (tmp_path / f"{report_stem(scenario)}.json").write_text("{not json")
+        report = CampaignRunner(reuse_saved=tmp_path).run(campaign)
+        assert report.reports[1].text  # ran fresh despite the bad file
+
+    def test_cli_reuse_saved_flag(self, tmp_path, capsys):
+        config = tmp_path / "campaign.json"
+        config.write_text(self._campaign().to_json())
+        save_dir = tmp_path / "reports"
+        assert main(["campaign", "--config", str(config)]) == 0
+        first = capsys.readouterr().out
+        # Seed the cache from individual runs, then reuse it.
+        for scenario in self._campaign().resolved_scenarios():
+            Runner().run(scenario).save(save_dir)
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--config",
+                    str(config),
+                    "--reuse-saved",
+                    str(save_dir),
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == first

@@ -14,7 +14,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.api import Campaign, CampaignReport, Runner, RunReport, Scenario, scenario_for
+from repro.api import (
+    SCHEMA_VERSION,
+    Campaign,
+    CampaignReport,
+    Runner,
+    RunReport,
+    Scenario,
+    scenario_for,
+)
 from repro.cli import main
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -68,7 +76,7 @@ class TestNewReportFlags:
         assert main(["run", "table1-frb1", "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["scenario"] == {
-            "schema_version": 1,
+            "schema_version": SCHEMA_VERSION,
             "kind": "artifact",
             "artifact": "table1-frb1",
         }
@@ -209,7 +217,7 @@ class TestListJson:
     def test_list_json_emits_the_registries(self, capsys):
         assert main(["list", "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == SCHEMA_VERSION
         ids = {entry["id"] for entry in payload["experiments"]}
         assert {"fig7-speed", "net-sweep", "trace-arrivals", "net-sweep-sharded"} <= ids
         fig7 = next(e for e in payload["experiments"] if e["id"] == "fig7-speed")
