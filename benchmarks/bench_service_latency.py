@@ -1,0 +1,135 @@
+"""Latency/throughput SLO gate of the admission-control service mode.
+
+Two halves, both against the same micro-batching server
+(:mod:`repro.service`):
+
+* **Live session** — a closed-loop client pool drives the server on the
+  wall clock and the session report's sustained throughput and decision
+  latency distribution are gated: **>= 10k decisions/s** with **p99
+  micro-batch decision latency < 10 ms**.  The client pool is sized to
+  keep the batcher size-triggered (the regime the throughput claim is
+  about); holding times are compressed so departures churn bandwidth
+  within the session.
+* **Replay determinism** — the CI-gated reproducibility property: the
+  seeded replay workload produces a byte-identical service report across
+  repeated runs *and* across shuffled asyncio task-creation orders.
+
+Writes ``results/BENCH_service.json`` with the measured numbers (uploaded
+as a CI artifact alongside the other BENCH files).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+from pathlib import Path
+
+from repro.service import ServiceConfig, run_load_session, run_service_replay
+from repro.simulation.config import BatchExperimentConfig
+
+#: SLO gates of the service mode (acceptance criteria of the service PR).
+THROUGHPUT_FLOOR_DPS = 10_000.0
+P99_LATENCY_CEILING_MS = 10.0
+
+#: Live-session shape: enough closed-loop clients to keep every flush
+#: size-triggered, batches large enough to amortize the per-batch fuzzy
+#: inference cost (measured sweet spot of the compiled engine).
+LIVE_REQUESTS = 30_000
+LIVE_CLIENTS = 256
+LIVE_SERVICE = ServiceConfig(max_batch=128, max_wait_ms=5.0, queue_capacity=512)
+
+#: Replay workload: the registered service-replay default scenario shape.
+REPLAY_CONFIG = BatchExperimentConfig(
+    request_count=400, arrival_window_s=120.0, seed=20070628
+)
+REPLAY_SERVICE = ServiceConfig(max_batch=8, max_wait_ms=2000.0, queue_capacity=64)
+REPLAY_SHUFFLE_SEEDS = (1, 7, 42)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "BENCH_service.json"
+
+
+def _replay_json(submit_order=None) -> str:
+    return run_service_replay(
+        REPLAY_CONFIG, REPLAY_SERVICE, submit_order=submit_order
+    ).to_json()
+
+
+def test_service_latency_slo(benchmark):
+    # Replay determinism first: byte-identical across runs and schedules.
+    baseline = _replay_json()
+    assert _replay_json() == baseline
+    order = list(range(REPLAY_CONFIG.request_count))
+    for shuffle_seed in REPLAY_SHUFFLE_SEEDS:
+        random.Random(shuffle_seed).shuffle(order)
+        assert _replay_json(submit_order=list(order)) == baseline
+
+    # Live closed-loop session on the wall clock, measured by its report.
+    session = {}
+
+    def run_live_session():
+        session["report"] = run_load_session(
+            request_count=LIVE_REQUESTS,
+            clients=LIVE_CLIENTS,
+            service=LIVE_SERVICE,
+        )
+
+    benchmark.pedantic(run_live_session, rounds=1, iterations=1)
+    report = session["report"]
+    latency = report.latency
+
+    assert report.submitted == LIVE_REQUESTS
+    assert report.admitted + report.rejected + report.shed == LIVE_REQUESTS
+    assert report.completed == report.admitted
+
+    payload = {
+        "benchmark": "bench_service_latency",
+        "config": {
+            "live_requests": LIVE_REQUESTS,
+            "live_clients": LIVE_CLIENTS,
+            "max_batch": LIVE_SERVICE.max_batch,
+            "max_wait_ms": LIVE_SERVICE.max_wait_ms,
+            "queue_capacity": LIVE_SERVICE.queue_capacity,
+            "replay_requests": REPLAY_CONFIG.request_count,
+            "replay_shuffles": len(REPLAY_SHUFFLE_SEEDS),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "gates": {
+            "throughput_floor_dps": THROUGHPUT_FLOOR_DPS,
+            "p99_latency_ceiling_ms": P99_LATENCY_CEILING_MS,
+        },
+        "live": {
+            "throughput_dps": round(report.throughput_dps, 1),
+            "duration_s": round(report.duration_s, 4),
+            "decided": report.decided,
+            "admitted": report.admitted,
+            "shed": report.shed,
+            "batches": report.batch_count,
+            "latency_ms": {
+                "mean": round(latency.mean_ms, 4),
+                "p50": round(latency.p50_ms, 4),
+                "p95": round(latency.p95_ms, 4),
+                "p99": round(latency.p99_ms, 4),
+                "max": round(latency.max_ms, 4),
+            },
+        },
+        "replay": {
+            "byte_identical_runs": True,
+            "byte_identical_schedules": True,
+            "report_bytes": len(baseline),
+        },
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    benchmark.extra_info.update(payload["live"])
+    benchmark.extra_info["results_file"] = str(RESULTS_PATH)
+    print(
+        f"\nservice mode: {report.throughput_dps:,.0f} decisions/s sustained, "
+        f"p50 {latency.p50_ms:.3f} ms, p99 {latency.p99_ms:.3f} ms "
+        f"-> {RESULTS_PATH.name}"
+    )
+    assert report.throughput_dps >= THROUGHPUT_FLOOR_DPS
+    assert latency.p99_ms < P99_LATENCY_CEILING_MS

@@ -98,6 +98,7 @@ from .scenario import (
     NetworkSweepScenario,
     Scenario,
     ScenarioError,
+    ServiceReplayScenario,
     ShardedNetworkSweepScenario,
     SurfaceScenario,
     TraceArrivalsScenario,
@@ -143,6 +144,7 @@ __all__ = [
     "AblationScenario",
     "NetworkIntegrationScenario",
     "TraceArrivalsScenario",
+    "ServiceReplayScenario",
     "SCENARIO_KINDS",
     "scenario_kind",
     # registries

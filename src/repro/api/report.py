@@ -76,7 +76,7 @@ def _acceptance(
         return _per_curve(metrics, "acceptance_percentage", reduce)
     if kind == "network-integration":
         return _per_controller(metrics, "acceptance_percentage")
-    if kind == "trace-arrivals":
+    if kind in ("trace-arrivals", "service-replay"):
         return {metrics["controller"]: metrics["acceptance_percentage"]}
     return None
 
@@ -120,6 +120,22 @@ def _mean_dropping(metrics: Mapping[str, Any]) -> dict[str, float] | None:
 def _mean_handoff_failure(metrics: Mapping[str, Any]) -> dict[str, float] | None:
     """Mean handoff failure ratio (network scenarios only)."""
     return _network_quality(metrics, "handoff_failure_ratio", "handoff_failure_ratio")
+
+
+@comparison_metric("p99_latency_ms")
+def _p99_latency_ms(metrics: Mapping[str, Any]) -> dict[str, float] | None:
+    """p99 micro-batch decision latency (service scenarios only)."""
+    if metrics.get("type") != "service-replay":
+        return None
+    return {metrics["controller"]: metrics["latency_ms"]["p99_ms"]}
+
+
+@comparison_metric("throughput_dps")
+def _throughput_dps(metrics: Mapping[str, Any]) -> dict[str, float] | None:
+    """Sustained admission decisions per second (service scenarios only)."""
+    if metrics.get("type") != "service-replay":
+        return None
+    return {metrics["controller"]: metrics["throughput_dps"]}
 
 
 def _baseline_value(

@@ -45,7 +45,10 @@ from ..simulation.sweep import (
     run_network_sweep,
     run_sharded_network_sweep,
 )
+from ..simulation.results import RunResult
 from ..simulation.trace import TraceRunResult, run_trace_arrivals
+from ..service.replay import run_service_replay
+from ..service.server import ServiceConfig, ServiceReport, render_service_report
 from .registry import (
     ABLATIONS,
     ARTIFACTS,
@@ -62,6 +65,7 @@ from .scenario import (
     NetworkSweepScenario,
     Scenario,
     ScenarioError,
+    ServiceReplayScenario,
     ShardedNetworkSweepScenario,
     SurfaceScenario,
     TraceArrivalsScenario,
@@ -552,3 +556,53 @@ def _run_trace_arrivals(scenario: TraceArrivalsScenario) -> tuple[str, dict[str,
         ],
     }
     return _render_trace_arrivals(result), metrics
+
+
+def _service_run_result(report: ServiceReport, seed: int) -> RunResult:
+    """The service session as a counter row for the columnar result store.
+
+    Batching knobs and the latency/throughput observables ride as
+    parameters, so a campaign frame over several batching configurations
+    can ``group_reduce`` acceptance against them column-for-column.
+    """
+    return RunResult(
+        controller=report.controller,
+        metrics=report.metrics,
+        parameters={
+            "request_count": float(report.submitted),
+            "max_batch": float(report.config.max_batch),
+            "max_wait_ms": float(report.config.max_wait_ms),
+            "queue_capacity": float(report.config.queue_capacity),
+            "p50_latency_ms": report.latency.p50_ms,
+            "p99_latency_ms": report.latency.p99_ms,
+            "throughput_dps": report.throughput_dps,
+        },
+        seed=seed,
+    )
+
+
+@_handles(ServiceReplayScenario)
+def _run_service_replay(scenario: ServiceReplayScenario) -> tuple[str, dict[str, Any]]:
+    config = BatchExperimentConfig(
+        request_count=scenario.request_count,
+        arrival_window_s=scenario.arrival_window_s,
+        user_profile=UserProfile(
+            speed_kmh=scenario.speed_kmh,
+            angle_deg=scenario.angle_deg,
+            distance_km=scenario.distance_km,
+        ),
+        seed=scenario.seed,
+    )
+    report = run_service_replay(
+        config,
+        service=ServiceConfig(
+            max_batch=scenario.max_batch,
+            max_wait_ms=scenario.max_wait_ms,
+            queue_capacity=scenario.queue_capacity,
+        ),
+        facs_config=FACSConfig(engine=scenario.engine),
+    )
+    frame = MetricsFrame.from_run_results([_service_run_result(report, scenario.seed)])
+    metrics = {"type": "service-replay", **report.to_dict()}
+    metrics["frame"] = metrics_frame_to_dict(frame)
+    return render_service_report(report), metrics

@@ -51,6 +51,7 @@ __all__ = [
     "AblationScenario",
     "NetworkIntegrationScenario",
     "TraceArrivalsScenario",
+    "ServiceReplayScenario",
 ]
 
 
@@ -548,6 +549,63 @@ class TraceArrivalsScenario(Scenario):
         return "trace-arrivals"
 
 
+@scenario_kind("service-replay")
+@dataclass(frozen=True)
+class ServiceReplayScenario(Scenario):
+    """A seeded arrival trace through the online admission service.
+
+    The same workload vocabulary as :class:`TraceArrivalsScenario`, but
+    executed by the asyncio micro-batching server
+    (:mod:`repro.service`) on a virtual clock: one submitter task per
+    request sleeps until its arrival instant, the server coalesces
+    pending requests into micro-batches (flush on ``max_batch`` or
+    ``max_wait_ms``, whichever first) and sheds beyond
+    ``queue_capacity``.  Replay is deterministic — same scenario ⇒
+    byte-identical service report, independent of asyncio scheduling
+    order — which is what lets an *online* code path live under the same
+    reproducibility gates as the offline pipelines.
+    """
+
+    request_count: int = 400
+    arrival_window_s: float = 120.0
+    max_batch: int = 8
+    max_wait_ms: float = 2000.0
+    queue_capacity: int = 64
+    speed_kmh: float | None = None
+    angle_deg: float | None = None
+    distance_km: float | None = None
+    seed: int = 20070628
+    engine: str = "compiled"
+
+    def __post_init__(self) -> None:
+        _check_int(self.request_count, "request_count", 1)
+        _check_finite(self.arrival_window_s, "arrival_window_s")
+        _require(
+            self.arrival_window_s > 0,
+            f"arrival_window_s must be positive, got {self.arrival_window_s}",
+        )
+        _check_int(self.max_batch, "max_batch", 1)
+        _check_finite(self.max_wait_ms, "max_wait_ms")
+        _require(
+            self.max_wait_ms > 0,
+            f"max_wait_ms must be positive, got {self.max_wait_ms}",
+        )
+        _check_int(self.queue_capacity, "queue_capacity", 1)
+        for name in ("speed_kmh", "angle_deg", "distance_km"):
+            value = getattr(self, name)
+            if value is not None:
+                _check_finite(value, name)
+        _require(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool),
+            f"seed must be an integer, got {self.seed!r}",
+        )
+        _check_engine(self.engine)
+
+    @property
+    def slug(self) -> str:
+        return "service-replay"
+
+
 # ----------------------------------------------------------------------
 # Built-in default scenarios, one per `python -m repro list` entry.
 # Registration order matches the EXPERIMENTS inventory.
@@ -635,3 +693,8 @@ def _net_sweep_sharded_scenario() -> Scenario:
 @register_scenario("trace-arrivals")
 def _trace_arrivals_scenario() -> Scenario:
     return TraceArrivalsScenario()
+
+
+@register_scenario("service-replay")
+def _service_replay_scenario() -> Scenario:
+    return ServiceReplayScenario()

@@ -50,6 +50,7 @@ from .api.scenario import (
     ArtifactScenario,
     FigureSweepScenario,
     NetworkSweepScenario,
+    ServiceReplayScenario,
     SurfaceScenario,
     TraceArrivalsScenario,
 )
@@ -84,6 +85,15 @@ _NETWORK_SHAPING_DEFAULTS: dict[str, object] = {
     "controllers": list(DEFAULT_NETWORK_CONTROLLERS),
     "seed": 20070627,
     **_SHARED_SHAPING_DEFAULTS,
+}
+_SERVICE_REPLAY_SHAPING_DEFAULTS: dict[str, object] = {
+    "requests": 400,
+    "window": 120.0,
+    "max_batch": 8,
+    "max_wait_ms": 2000.0,
+    "queue_capacity": 64,
+    "seed": 20070628,
+    "engine": "compiled",
 }
 
 
@@ -138,6 +148,37 @@ def _add_report_flags(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         default=None,
         help="persist the RunReport as <DIR>/<scenario>.json",
+    )
+
+
+def _add_service_batching_flags(
+    parser: argparse.ArgumentParser, defaults: dict[str, object]
+) -> None:
+    """Attach the request-count + micro-batching flag group of the service."""
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=defaults["requests"],
+        help="number of admission requests to drive through the service",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=defaults["max_batch"],
+        help="flush a micro-batch as soon as this many requests are pending",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=defaults["max_wait_ms"],
+        help="flush a micro-batch once its oldest request has waited this long",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=defaults["queue_capacity"],
+        help="bounded-queue backpressure limit: submissions beyond this many "
+        "pending requests are shed immediately",
     )
 
 
@@ -233,6 +274,75 @@ def build_parser() -> argparse.ArgumentParser:
     _add_performance_flags(network)
     _add_report_flags(network)
 
+    service_replay = subparsers.add_parser(
+        "service-replay",
+        help="replay a seeded arrival trace through the asyncio micro-batching "
+        "admission service on a virtual clock (deterministic)",
+    )
+    _add_service_batching_flags(service_replay, _SERVICE_REPLAY_SHAPING_DEFAULTS)
+    service_replay.add_argument(
+        "--window",
+        type=float,
+        default=_SERVICE_REPLAY_SHAPING_DEFAULTS["window"],
+        help="arrival window in virtual seconds over which requests arrive",
+    )
+    service_replay.add_argument(
+        "--seed",
+        type=int,
+        default=_SERVICE_REPLAY_SHAPING_DEFAULTS["seed"],
+        help="master seed of the arrival trace",
+    )
+    service_replay.add_argument(
+        "--engine",
+        choices=_cli_engine_choices(),
+        default=_SERVICE_REPLAY_SHAPING_DEFAULTS["engine"],
+        help="fuzzy inference engine for the FACS controller",
+    )
+    _add_report_flags(service_replay)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run a live (wall-clock) admission-service load session: a "
+        "closed-loop client pool drives the micro-batching server and the "
+        "latency/throughput report is printed",
+    )
+    _add_service_batching_flags(
+        serve,
+        {"requests": 20_000, "max_batch": 64, "max_wait_ms": 5.0, "queue_capacity": 256},
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=64,
+        help="concurrent closed-loop clients (each submits back-to-back)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=20070628,
+        help="master seed of the request stream",
+    )
+    serve.add_argument(
+        "--holding-scale",
+        type=float,
+        default=1e-3,
+        help="factor compressing call holding times so departures churn "
+        "within a seconds-long session",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=_cli_engine_choices(),
+        default="compiled",
+        help="fuzzy inference engine for the FACS controller",
+    )
+    serve.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="print the rendered session report (text, default) or the "
+        "machine-readable service report (json)",
+    )
+
     campaign = subparsers.add_parser(
         "campaign",
         help="run a multi-scenario campaign and compare results across "
@@ -315,9 +425,9 @@ def _scenario_from_run_flags(
         )
     if isinstance(scenario, SurfaceScenario):
         return replace(scenario, engine=args.engine)
-    if isinstance(scenario, TraceArrivalsScenario):
-        # The trace kind has no replication/request-list/executor shape;
-        # reject those flags rather than silently running the defaults.
+    if isinstance(scenario, (TraceArrivalsScenario, ServiceReplayScenario)):
+        # The trace/service kinds have no replication/request-list/executor
+        # shape; reject those flags rather than silently running defaults.
         ignored = [
             f"--{name}"
             for name in ("replications", "requests", "executor", "workers")
@@ -327,7 +437,7 @@ def _scenario_from_run_flags(
             raise SystemExit(
                 f"experiment {args.experiment!r} accepts only --engine of the "
                 f"run flags; drop {', '.join(ignored)} or shape the scenario "
-                f"via --config (fields: request_count, batch_size, ...)"
+                f"via --config (or its dedicated subcommand)"
             )
         return replace(scenario, engine=args.engine)
     if isinstance(scenario, ArtifactScenario):
@@ -366,7 +476,7 @@ def _reject_shaping_flags_with_config(
     something they did not.
     """
     overridden = [
-        f"--{name}"
+        f"--{name.replace('_', '-')}"
         for name, default in defaults.items()
         if getattr(args, name) != default
     ]
@@ -495,6 +605,60 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ScenarioError as exc:
             parser.error(str(exc))
         return _emit_report(Runner().run(scenario), args)
+
+    if args.command == "service-replay":
+        try:
+            if args.config is not None:
+                _reject_shaping_flags_with_config(
+                    parser, args, _SERVICE_REPLAY_SHAPING_DEFAULTS
+                )
+                scenario = Scenario.from_file(args.config)
+                if not isinstance(scenario, ServiceReplayScenario):
+                    parser.error(
+                        f"service-replay --config requires a 'service-replay' "
+                        f"scenario, got kind {scenario.kind!r}"
+                    )
+            else:
+                scenario = ServiceReplayScenario(
+                    request_count=args.requests,
+                    arrival_window_s=args.window,
+                    max_batch=args.max_batch,
+                    max_wait_ms=args.max_wait_ms,
+                    queue_capacity=args.queue_capacity,
+                    seed=args.seed,
+                    engine=args.engine,
+                )
+        except OSError as exc:
+            parser.error(f"cannot read scenario config: {exc}")
+        except ScenarioError as exc:
+            parser.error(str(exc))
+        return _emit_report(Runner().run(scenario), args)
+
+    if args.command == "serve":
+        from .cac.facs.system import FACSConfig
+        from .service import ServiceConfig, render_service_report, run_load_session
+
+        try:
+            service = ServiceConfig(
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                queue_capacity=args.queue_capacity,
+            )
+            report = run_load_session(
+                request_count=args.requests,
+                clients=args.clients,
+                service=service,
+                facs_config=FACSConfig(engine=args.engine),
+                seed=args.seed,
+                holding_scale=args.holding_scale,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        if args.format == "json":
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(render_service_report(report))
+        return 0
 
     if args.command == "network-sweep":
         try:

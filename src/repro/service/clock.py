@@ -1,0 +1,173 @@
+"""Clocks for the admission-control service: wall time and virtual time.
+
+The service core (:mod:`repro.service.server`) never reads time directly —
+every "when is it now / wake me at t" goes through a :class:`Clock`.  That
+single seam is what gives the service its two operating modes from one
+code path:
+
+* :class:`MonotonicClock` — real time.  ``sleep_until`` maps onto
+  :func:`asyncio.sleep`, so the micro-batcher's flush deadlines are real
+  timers and measured latencies are wall-clock latencies.  This is the
+  mode the load generator and the latency benchmark drive.
+* :class:`VirtualClock` — deterministic simulated time for replay.  Tasks
+  park on a heap of ``(wake time, key, seq)``-ordered sleepers and the
+  clock only moves when :meth:`VirtualClock.advance` fires the earliest
+  one.  Given the same arrival schedule, every wakeup — and therefore
+  every batch boundary and every admission decision — happens at the same
+  virtual instant in the same order, regardless of how the asyncio event
+  loop interleaves task steps.  ``key`` breaks exact-time ties by caller
+  identity (not registration order), so even tied wakeups are independent
+  of task creation order.
+
+:func:`run_with_virtual_clock` is the replay driver: it lets the event
+loop run until no task makes further progress (quiescence, observed via
+the clock's activity counter), then fires the next virtual timer, and
+repeats until the main coroutine completes.  Deadlock — tasks pending but
+no timer armed — raises instead of hanging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from abc import ABC, abstractmethod
+from itertools import count
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "VirtualClock",
+    "VirtualClockDeadlock",
+    "run_with_virtual_clock",
+]
+
+#: Consecutive no-progress event-loop passes required before the virtual
+#: driver declares quiescence and advances time.  A wakeup cascade
+#: (sleeper fires → submitter enqueues → flush resolves futures → awaiting
+#: tasks return) spans at most a handful of passes, none of which may be
+#: interrupted by a time jump; a generous margin costs microseconds and
+#: buys scheduling-order independence.
+_QUIET_PASSES = 6
+
+
+class Clock(ABC):
+    """Time source of the admission service."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (origin is clock-defined)."""
+
+    @abstractmethod
+    async def sleep_until(self, when: float, *, key: int = 0) -> None:
+        """Suspend the calling task until ``now() >= when``.
+
+        ``key`` orders wakeups that share the exact same ``when`` (smaller
+        fires first); real clocks ignore it.
+        """
+
+
+class MonotonicClock(Clock):
+    """Wall time, zeroed at construction, driven by ``time.monotonic``."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    async def sleep_until(self, when: float, *, key: int = 0) -> None:
+        delay = when - self.now()
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+
+class VirtualClockDeadlock(RuntimeError):
+    """Raised when tasks are pending but no virtual timer can wake them."""
+
+
+class VirtualClock(Clock):
+    """Deterministic simulated time: moves only via :meth:`advance`."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        #: heap of (when, key, seq, future); seq only disambiguates the
+        #: heap ordering of true (when, key) ties, which callers avoid by
+        #: using distinct keys.
+        self._sleepers: list[tuple[float, int, int, asyncio.Future]] = []
+        self._seq = count()
+        #: Activity counter: bumped on every registration and firing, so
+        #: the replay driver can observe "something is still moving".
+        self.ticks = 0
+
+    def now(self) -> float:
+        return self._now
+
+    async def sleep_until(self, when: float, *, key: int = 0) -> None:
+        if when <= self._now:
+            return
+        future = asyncio.get_running_loop().create_future()
+        heapq.heappush(self._sleepers, (when, key, next(self._seq), future))
+        self.ticks += 1
+        await future
+
+    @property
+    def armed(self) -> bool:
+        """True when at least one live (non-cancelled) sleeper is waiting."""
+        return any(not future.cancelled() for *_, future in self._sleepers)
+
+    def advance(self) -> bool:
+        """Fire the earliest live sleeper; False when none remain.
+
+        Time never moves backwards: a sleeper registered for the past
+        (impossible via :meth:`sleep_until`, possible after cancellations
+        reordered the heap) fires at the current time.
+        """
+        while self._sleepers:
+            when, _key, _seq, future = heapq.heappop(self._sleepers)
+            if future.cancelled() or future.done():
+                continue
+            self._now = max(self._now, when)
+            future.set_result(None)
+            self.ticks += 1
+            return True
+        return False
+
+
+async def _settle(clock: VirtualClock) -> None:
+    """Yield to the event loop until no task makes observable progress."""
+    quiet = 0
+    while quiet < _QUIET_PASSES:
+        before = clock.ticks
+        await asyncio.sleep(0)
+        quiet = quiet + 1 if clock.ticks == before else 0
+
+
+def run_with_virtual_clock(main, clock: VirtualClock):
+    """Run coroutine ``main`` to completion under ``clock``.
+
+    The driver alternates quiescence (let every ready task run) with
+    firing the next virtual timer, so simulated time only jumps when the
+    system is idle — exactly the property that makes replay results
+    independent of asyncio scheduling order.
+    """
+
+    async def driver():
+        task = asyncio.ensure_future(main)
+        try:
+            while not task.done():
+                await _settle(clock)
+                if task.done():
+                    break
+                if not clock.advance():
+                    raise VirtualClockDeadlock(
+                        "tasks are pending but no virtual timer is armed; "
+                        "a service coroutine is awaiting something that "
+                        "only real time would resolve"
+                    )
+        except BaseException:
+            task.cancel()
+            raise
+        return task.result()
+
+    return asyncio.run(driver())

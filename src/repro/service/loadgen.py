@@ -1,0 +1,88 @@
+"""Closed-loop load generator for the live admission server.
+
+Unlike replay — which honors the trace's arrival instants on a virtual
+clock — the load generator measures what the server *sustains*: a fixed
+pool of clients submit back-to-back (each issues its next request the
+moment its previous decision resolves), so the offered load is always
+exactly ``clients`` in-flight requests and the measured throughput is the
+server's, not the schedule's.
+
+Requests are drawn from the same seeded trace builder as every other
+experiment; ``holding_scale`` compresses the exponential holding times
+(minutes in the paper) so departures churn bandwidth within a
+seconds-long benchmark session instead of pinning the cell at capacity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..cac.facs.system import FACSConfig
+from ..des.rng import StreamFactory
+from ..simulation.batch import build_requests
+from ..simulation.config import BatchExperimentConfig
+from .server import AdmissionServer, ServiceConfig, ServiceReport
+
+__all__ = ["build_load_requests", "run_closed_loop", "run_load_session"]
+
+
+def build_load_requests(
+    count: int,
+    seed: int,
+    holding_scale: float = 1.0,
+) -> list:
+    """Seeded request list for a load session, holding times rescaled."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if holding_scale <= 0:
+        raise ValueError(f"holding_scale must be > 0, got {holding_scale}")
+    config = BatchExperimentConfig(request_count=count, seed=seed)
+    requests = build_requests(config, StreamFactory(master_seed=config.stream_master_seed))
+    if holding_scale != 1.0:
+        for call in requests:
+            call.holding_time_s *= holding_scale
+    return requests
+
+
+async def run_closed_loop(
+    server: AdmissionServer,
+    requests: list,
+    clients: int,
+) -> None:
+    """Submit ``requests`` through ``clients`` concurrent closed-loop callers."""
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    queue = iter(requests)
+
+    async def client() -> None:
+        while True:
+            try:
+                call = next(queue)
+            except StopIteration:
+                return
+            await server.submit(call)
+
+    await asyncio.gather(*(client() for _ in range(clients)))
+
+
+def run_load_session(
+    request_count: int = 20_000,
+    clients: int = 64,
+    service: ServiceConfig | None = None,
+    facs_config: FACSConfig | None = None,
+    seed: int = 20070628,
+    holding_scale: float = 1e-3,
+) -> ServiceReport:
+    """One wall-clock load session against a fresh server; returns its report."""
+    requests = build_load_requests(request_count, seed, holding_scale)
+    service = service or ServiceConfig(max_batch=64, max_wait_ms=5.0, queue_capacity=256)
+
+    async def main() -> ServiceReport:
+        server = AdmissionServer(
+            service, facs_config=facs_config, collect_batches=False
+        )
+        await run_closed_loop(server, requests, clients)
+        await server.aclose()
+        return server.report(mode="live")
+
+    return asyncio.run(main())

@@ -61,12 +61,23 @@ def default_chunksize(task_count: int, workers: int) -> int:
     the process backend, one pickle round) per task; batching ~4 chunks
     per worker removes that overhead without starving the pool when task
     durations vary (heavier request counts take longer).
+
+    Always returns a valid chunksize (>= 1): degenerate plans — an empty
+    task list, or more workers than tasks — collapse to chunks of one.
     """
+    if task_count < 0:
+        raise ValueError(f"task_count must be >= 0, got {task_count}")
     return max(1, task_count // (4 * max(workers, 1)))
 
 
 def _chunked(tasks: Sequence[T], chunksize: int) -> list[Sequence[T]]:
-    """Split ``tasks`` into contiguous, order-preserving chunks."""
+    """Split ``tasks`` into contiguous, order-preserving chunks.
+
+    Concatenating the chunks in order reproduces ``tasks`` exactly: every
+    task appears once, in its original position.
+    """
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     return [tasks[i : i + chunksize] for i in range(0, len(tasks), chunksize)]
 
 

@@ -65,16 +65,28 @@ class TraceRunResult:
 
     @property
     def acceptance_percentage(self) -> float:
-        if self.requested == 0:
-            return 0.0
-        return 100.0 * self.accepted / self.requested
+        """Delegates to :attr:`CallMetrics.acceptance_percentage` — the
+        single arithmetic spec for the paper's headline metric."""
+        if self.metrics is not None:
+            return self.metrics.acceptance_percentage
+        return CallMetrics(
+            requested=self.requested,
+            accepted=self.accepted,
+            blocked=self.requested - self.accepted,
+            completed=0,
+            dropped=0,
+            handoff_requests=0,
+            handoff_accepted=0,
+            accepted_bu=0,
+            requested_bu=0,
+        ).acceptance_percentage
 
     def to_run_result(self, seed: int = 0) -> RunResult:
         """The trace run as a counter row for the columnar result store.
 
-        ``completed`` counts the departures replayed within the trace
-        horizon (calls still holding bandwidth after the last batch are
-        admitted but not yet complete).
+        Every admitted call's departure is replayed before the run
+        returns, so ``completed`` equals ``accepted`` — the same totals
+        the discrete-event batch experiment reports for this trace.
         """
         if self.metrics is None:
             raise ValueError(
@@ -123,15 +135,19 @@ def run_trace_arrivals(
     accepted_bu = 0
     requested_bu = sum(call.bandwidth_units for call in requests)
 
+    def release_next_departure() -> None:
+        nonlocal completed
+        departure_time, _, departed = heapq.heappop(departures)
+        station.release(departed)
+        departed.complete(departure_time)
+        controller.on_released(departed, station, departure_time)
+        completed += 1
+
     for index in range(0, len(requests), batch_size):
         batch = requests[index : index + batch_size]
         now = batch[0].requested_at
         while departures and departures[0][0] <= now:
-            departure_time, _, departed = heapq.heappop(departures)
-            station.release(departed)
-            departed.complete(departure_time)
-            controller.on_released(departed, station, departure_time)
-            completed += 1
+            release_next_departure()
 
         occupancy_before = station.used_bu
         decision = controller.decide_batch(batch, station, now)
@@ -162,6 +178,12 @@ def run_trace_arrivals(
                 occupancy_after_bu=station.used_bu,
             )
         )
+
+    # Drain the departure queue after the final batch: every admitted call
+    # eventually completes, so the completion counters are a property of
+    # the trace — not of where its batch boundaries happened to fall.
+    while departures:
+        release_next_departure()
 
     return TraceRunResult(
         controller=controller.name,

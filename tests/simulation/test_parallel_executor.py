@@ -11,6 +11,7 @@ from __future__ import annotations
 import pickle
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.cac.facs.system import FACSConfig
 from repro.simulation.config import BatchExperimentConfig
@@ -20,6 +21,8 @@ from repro.simulation.executor import (
     SerialExecutor,
     SweepExecutionError,
     SweepExecutor,
+    _chunked,
+    default_chunksize,
     executor_by_name,
 )
 from repro.simulation.scenario import (
@@ -61,6 +64,47 @@ class TestExecutorRegistry:
     def test_choices_cover_registry(self):
         for name in EXECUTOR_CHOICES:
             assert isinstance(executor_by_name(name), SweepExecutor)
+
+
+class TestChunkingPlan:
+    @given(
+        task_count=st.integers(0, 500),
+        workers=st.integers(-2, 64),
+    )
+    def test_default_chunksize_is_always_valid(self, task_count, workers):
+        # Degenerate plans — zero tasks, more workers than tasks, bogus
+        # non-positive worker counts — still yield a usable chunksize.
+        chunksize = default_chunksize(task_count, workers)
+        assert chunksize >= 1
+
+    def test_negative_task_count_rejected(self):
+        with pytest.raises(ValueError, match="task_count"):
+            default_chunksize(-1, 4)
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValueError, match="chunksize"):
+            _chunked([1, 2, 3], 0)
+
+    @given(
+        tasks=st.lists(st.integers(), max_size=200),
+        workers=st.integers(1, 32),
+    )
+    def test_chunking_preserves_order_and_covers_every_task_once(
+        self, tasks, workers
+    ):
+        chunks = _chunked(tasks, default_chunksize(len(tasks), workers))
+        flattened = [task for chunk in chunks for task in chunk]
+        assert flattened == tasks
+        assert all(len(chunk) >= 1 for chunk in chunks)
+
+    @given(
+        tasks=st.lists(st.integers(), min_size=1, max_size=100),
+        chunksize=st.integers(1, 120),
+    )
+    def test_explicit_chunksize_bounds_every_chunk(self, tasks, chunksize):
+        chunks = _chunked(tasks, chunksize)
+        assert [task for chunk in chunks for task in chunk] == tasks
+        assert all(1 <= len(chunk) <= chunksize for chunk in chunks)
 
 
 class TestExecutorMapping:

@@ -70,6 +70,36 @@ class TestRunTraceArrivals:
         trace = run_trace_arrivals(config, batch_size=1)
         assert trace.requested == des.result.metrics.requested
 
+    def test_unit_batches_pin_the_des_batch_experiment(self):
+        # Regression: at batch_size=1 the pipeline is per-call admission on
+        # the identical seeded trace, so its counters must pin the DES path
+        # exactly — including `completed`, which once depended on where the
+        # final batch boundary fell because the departure queue was never
+        # drained after the last batch.
+        config = small_config(request_count=100)
+        from repro.simulation.scenario import facs_factory
+
+        des = run_batch_experiment(config, facs_factory()).result.metrics
+        trace = run_trace_arrivals(config, batch_size=1)
+        assert trace.accepted == des.accepted
+        assert trace.metrics.completed == des.completed
+        assert trace.metrics.accepted_bu == des.accepted_bu
+
+    def test_completions_do_not_depend_on_batch_boundaries(self):
+        # Every admitted call's departure is replayed before the run
+        # returns, so completed == accepted for any batch size.
+        config = small_config(request_count=80)
+        for batch_size in (1, 7, 16, 80):
+            result = run_trace_arrivals(config, batch_size=batch_size)
+            assert result.metrics.completed == result.accepted
+
+    def test_acceptance_percentage_delegates_to_call_metrics(self):
+        result = run_trace_arrivals(small_config(), batch_size=8)
+        assert (
+            result.acceptance_percentage
+            == result.metrics.acceptance_percentage
+        )
+
 
 class TestTraceArrivalsScenario:
     def test_round_trips(self):
