@@ -19,11 +19,17 @@ Versioning policy
   (no ``schema_version`` key).  Still readable: the v0→v1 migration is the
   identity, because v1 only *added* the stamp.
 * **v1** — the first stamped payloads (Campaign API era).
-* **v2** — current.  Adds the columnar :class:`~repro.analysis.frame.MetricsFrame`
+* **v2** — Adds the columnar :class:`~repro.analysis.frame.MetricsFrame`
   payload (``frame`` key inside sweep ``RunReport`` metrics, plus the
   standalone ``metrics-frame`` codec below) and the optional
   ``baseline``/``deltas`` comparison fields.  All additive, so the v1→v2
   migration is the identity.
+* **v3** — current.  Adds the ``network-sweep-coupled-sharded`` scenario
+  kind (per-cell shard workers with message-passing handoffs) with its
+  ``window_s``/``cell_capacities`` fields, and the ``handoff_coupling``
+  provenance key inside network-sweep ``RunReport`` metrics.  All
+  additive — old payloads simply lack the kind and the keys — so the
+  v2→v3 migration is the identity.
 * Future breaking field changes must bump :data:`SCHEMA_VERSION` and add a
   migration step to :data:`_MIGRATIONS`; decoding a payload newer than the
   running build always fails loudly rather than guessing.
@@ -71,7 +77,7 @@ __all__ = [
 # Payload schema versioning
 # ----------------------------------------------------------------------
 #: Version stamped into every newly serialized API payload.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 class PayloadVersionError(ValueError):
@@ -99,10 +105,23 @@ def _migrate_v1_to_v2(payload: dict[str, Any]) -> dict[str, Any]:
     return payload
 
 
+def _migrate_v2_to_v3(payload: dict[str, Any]) -> dict[str, Any]:
+    """v2 → v3: the identity — v3 only *added* fields.
+
+    New in v3: the ``network-sweep-coupled-sharded`` scenario kind (with
+    ``window_s`` and ``cell_capacities``) and the optional
+    ``handoff_coupling`` provenance key in network-sweep report metrics.
+    Old payloads simply lack them, and every decoder treats them as
+    optional.
+    """
+    return payload
+
+
 #: Migration steps: version ``n`` → the function upgrading ``n`` to ``n+1``.
 _MIGRATIONS: dict[int, Callable[[dict[str, Any]], dict[str, Any]]] = {
     0: _migrate_v0_to_v1,
     1: _migrate_v1_to_v2,
+    2: _migrate_v2_to_v3,
 }
 
 

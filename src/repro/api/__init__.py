@@ -93,6 +93,7 @@ from .scenario import (
     SCENARIO_KINDS,
     AblationScenario,
     ArtifactScenario,
+    CoupledShardedNetworkSweepScenario,
     FigureSweepScenario,
     NetworkIntegrationScenario,
     NetworkSweepScenario,
@@ -141,6 +142,7 @@ __all__ = [
     "FigureSweepScenario",
     "NetworkSweepScenario",
     "ShardedNetworkSweepScenario",
+    "CoupledShardedNetworkSweepScenario",
     "AblationScenario",
     "NetworkIntegrationScenario",
     "TraceArrivalsScenario",

@@ -42,6 +42,7 @@ from ..simulation.executor import SweepExecutor, executor_by_name
 from ..simulation.sweep import (
     NetworkSweepResult,
     SweepResult,
+    run_coupled_sharded_network_sweep,
     run_network_sweep,
     run_sharded_network_sweep,
 )
@@ -60,6 +61,7 @@ from .registry import (
 from .scenario import (
     AblationScenario,
     ArtifactScenario,
+    CoupledShardedNetworkSweepScenario,
     FigureSweepScenario,
     NetworkIntegrationScenario,
     NetworkSweepScenario,
@@ -356,6 +358,9 @@ def _network_sweep_spec_for(scenario: NetworkSweepScenario):
         duration_s=scenario.duration_s,
         mean_speed_kmh=scenario.mean_speed_kmh,
         seed=scenario.seed,
+        # Only the coupled-sharded scenario kind carries a per-cell
+        # capacity map; the others keep the uniform default.
+        cell_capacities=getattr(scenario, "cell_capacities", None),
     )
     return network_sweep_spec(
         arrival_rates=scenario.arrival_rates,
@@ -378,7 +383,25 @@ def _run_sharded_network_sweep(
 ) -> tuple[str, dict[str, Any]]:
     spec = _network_sweep_spec_for(scenario)
     result = run_sharded_network_sweep(spec, executor=_build_executor(scenario))
-    return render_network_sweep(result), _sweep_metrics(result)
+    metrics = _sweep_metrics(result)
+    # Provenance: this kind decomposes cells into independent runs, so
+    # handoff coupling is dropped by design — campaign comparisons against
+    # the coupled kinds must be able to see that from the report alone.
+    metrics["handoff_coupling"] = "dropped"
+    return render_network_sweep(result), metrics
+
+
+@_handles(CoupledShardedNetworkSweepScenario)
+def _run_coupled_sharded_network_sweep(
+    scenario: CoupledShardedNetworkSweepScenario,
+) -> tuple[str, dict[str, Any]]:
+    spec = _network_sweep_spec_for(scenario)
+    result = run_coupled_sharded_network_sweep(
+        spec, executor=_build_executor(scenario), window_s=scenario.window_s
+    )
+    metrics = _sweep_metrics(result)
+    metrics["handoff_coupling"] = "messages"
+    return render_network_sweep(result), metrics
 
 
 def _render_ablation(result: SweepResult) -> str:

@@ -25,6 +25,7 @@ from typing import Any, ClassVar, Mapping
 from ..analysis.io import PayloadVersionError, migrate_payload, versioned_payload
 from ..fuzzy.controller import ENGINES
 from ..registry import Registry, RegistryError
+from ..cellular.network import hex_cell_count
 from ..simulation.config import PAPER_REQUEST_COUNTS
 from ..simulation.executor import EXECUTORS
 from ..simulation.sweep import PAPER_NETWORK_ARRIVAL_RATES
@@ -48,6 +49,7 @@ __all__ = [
     "FigureSweepScenario",
     "NetworkSweepScenario",
     "ShardedNetworkSweepScenario",
+    "CoupledShardedNetworkSweepScenario",
     "AblationScenario",
     "NetworkIntegrationScenario",
     "TraceArrivalsScenario",
@@ -414,6 +416,54 @@ class ShardedNetworkSweepScenario(NetworkSweepScenario):
         return "net-sweep-sharded"
 
 
+@scenario_kind("network-sweep-coupled-sharded")
+@dataclass(frozen=True)
+class CoupledShardedNetworkSweepScenario(NetworkSweepScenario):
+    """Message-passing sharded variant of the multi-cell QoS sweep.
+
+    Keeps the handoff coupling the independent-cell sharding drops: every
+    cell of the topology runs as its own shard worker and departing calls
+    travel between shards as explicit handoff messages, drained in a
+    canonical order at conservative time-window barriers.  ``executor``
+    here selects the backend the *shards* run on within each replication
+    (serial / thread / process), not a replication pool; results are
+    byte-identical for every backend and worker count.  ``window_s``
+    overrides the barrier interval (default: the mobility update
+    interval); ``cell_capacities`` optionally gives every cell its own
+    capacity in spiral (cell-id) order.
+    """
+
+    window_s: float | None = None
+    cell_capacities: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.window_s is not None:
+            _check_finite(self.window_s, "window_s")
+            _require(
+                self.window_s > 0, f"window_s must be positive, got {self.window_s}"
+            )
+        if self.cell_capacities is not None:
+            object.__setattr__(self, "cell_capacities", tuple(self.cell_capacities))
+            expected = hex_cell_count(self.rings)
+            _require(
+                len(self.cell_capacities) == expected,
+                f"cell_capacities must list one capacity per cell "
+                f"({expected} for rings={self.rings}), got {len(self.cell_capacities)}",
+            )
+            for capacity in self.cell_capacities:
+                _require(
+                    isinstance(capacity, int)
+                    and not isinstance(capacity, bool)
+                    and capacity > 0,
+                    f"cell capacities must be positive integers, got {capacity!r}",
+                )
+
+    @property
+    def slug(self) -> str:
+        return "net-sweep-coupled-sharded"
+
+
 @scenario_kind("ablation")
 @dataclass(frozen=True)
 class AblationScenario(Scenario):
@@ -688,6 +738,11 @@ def _surface_flc2_scenario() -> Scenario:
 @register_scenario("net-sweep-sharded")
 def _net_sweep_sharded_scenario() -> Scenario:
     return ShardedNetworkSweepScenario()
+
+
+@register_scenario("net-sweep-coupled-sharded")
+def _net_sweep_coupled_sharded_scenario() -> Scenario:
+    return CoupledShardedNetworkSweepScenario()
 
 
 @register_scenario("trace-arrivals")

@@ -8,7 +8,7 @@ the network for the cells along a mobile's projected trajectory.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import networkx as nx
 
@@ -43,6 +43,9 @@ class CellularNetwork:
         Hexagon circumradius in kilometres.
     capacity_bu:
         Bandwidth units per base station (paper default: 40).
+    cell_capacities:
+        Optional per-cell capacity override, one entry per cell in spiral
+        (cell-id) order; ``None`` gives every cell ``capacity_bu``.
     """
 
     def __init__(
@@ -50,6 +53,7 @@ class CellularNetwork:
         rings: int = 2,
         cell_radius_km: float = 2.0,
         capacity_bu: int = PAPER_BANDWIDTH_UNITS,
+        cell_capacities: Sequence[int] | None = None,
     ):
         if rings < 0:
             raise ValueError(f"rings must be non-negative, got {rings}")
@@ -61,13 +65,22 @@ class CellularNetwork:
 
         center = HexCoordinate(0, 0)
         coordinates = hex_spiral(center, rings)
+        if cell_capacities is not None and len(cell_capacities) != len(coordinates):
+            raise ValueError(
+                f"cell_capacities must list one capacity per cell "
+                f"({len(coordinates)} for rings={rings}), got {len(cell_capacities)}"
+            )
         self._cells: dict[HexCoordinate, Cell] = {}
         self._cells_by_id: dict[int, Cell] = {}
         for index, coordinate in enumerate(coordinates, start=1):
             cell = Cell(
                 coordinate=coordinate,
                 radius_km=cell_radius_km,
-                capacity_bu=capacity_bu,
+                capacity_bu=(
+                    capacity_bu
+                    if cell_capacities is None
+                    else cell_capacities[index - 1]
+                ),
                 cell_id=index,
             )
             self._cells[coordinate] = cell

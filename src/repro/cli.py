@@ -48,9 +48,11 @@ from .api import (
 )
 from .api.scenario import (
     ArtifactScenario,
+    CoupledShardedNetworkSweepScenario,
     FigureSweepScenario,
     NetworkSweepScenario,
     ServiceReplayScenario,
+    ShardedNetworkSweepScenario,
     SurfaceScenario,
     TraceArrivalsScenario,
 )
@@ -84,6 +86,8 @@ _NETWORK_SHAPING_DEFAULTS: dict[str, object] = {
     "rings": 1,
     "controllers": list(DEFAULT_NETWORK_CONTROLLERS),
     "seed": 20070627,
+    "mode": "coupled",
+    "window": None,
     **_SHARED_SHAPING_DEFAULTS,
 }
 _SERVICE_REPLAY_SHAPING_DEFAULTS: dict[str, object] = {
@@ -271,6 +275,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=_NETWORK_SHAPING_DEFAULTS["seed"],
         help="master seed; replications derive independent streams from it",
     )
+    network.add_argument(
+        "--mode",
+        choices=["coupled", "sharded", "coupled-sharded"],
+        default=_NETWORK_SHAPING_DEFAULTS["mode"],
+        help="topology execution: one coupled simulation per replication "
+        "(default), independent per-cell runs with handoff coupling dropped "
+        "(sharded), or per-cell shard workers exchanging handoff messages "
+        "(coupled-sharded; --executor/--workers then place the shards)",
+    )
+    network.add_argument(
+        "--window",
+        type=float,
+        default=_NETWORK_SHAPING_DEFAULTS["window"],
+        help="barrier interval in simulated seconds of the coupled-sharded "
+        "mode (default: the mobility update interval)",
+    )
     _add_performance_flags(network)
     _add_report_flags(network)
 
@@ -451,17 +471,24 @@ def _scenario_from_run_flags(
 
 def _scenario_from_network_flags(args: argparse.Namespace) -> NetworkSweepScenario:
     """Build the multi-cell sweep scenario from the ``network-sweep`` flags."""
-    return NetworkSweepScenario(
-        controllers=tuple(args.controllers),
-        arrival_rates=tuple(args.rates),
-        replications=args.replications,
-        duration_s=args.duration,
-        rings=args.rings,
-        seed=args.seed,
-        engine=args.engine,
-        executor=args.executor,
-        workers=args.workers,
-    )
+    shape: dict[str, object] = {
+        "controllers": tuple(args.controllers),
+        "arrival_rates": tuple(args.rates),
+        "replications": args.replications,
+        "duration_s": args.duration,
+        "rings": args.rings,
+        "seed": args.seed,
+        "engine": args.engine,
+        "executor": args.executor,
+        "workers": args.workers,
+    }
+    if args.mode == "coupled-sharded":
+        return CoupledShardedNetworkSweepScenario(window_s=args.window, **shape)
+    if args.window is not None:
+        raise SystemExit("--window only applies to --mode coupled-sharded")
+    if args.mode == "sharded":
+        return ShardedNetworkSweepScenario(**shape)
+    return NetworkSweepScenario(**shape)
 
 
 def _reject_shaping_flags_with_config(

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from ..cellular.mobility import UserProfile
+from ..cellular.network import hex_cell_count
 from ..cellular.traffic import PAPER_BANDWIDTH_UNITS, PAPER_TRAFFIC_MIX, TrafficMix
 
 __all__ = ["BatchExperimentConfig", "NetworkExperimentConfig", "PAPER_REQUEST_COUNTS"]
@@ -92,6 +93,11 @@ class NetworkExperimentConfig:
     mean_speed_kmh: float = 40.0
     seed: int = 20070626
     replication: int = 0
+    #: Optional per-cell capacity override, one entry per cell in spiral
+    #: (cell-id) order; ``None`` gives every cell ``capacity_bu``.  Lets a
+    #: topology model a congested downtown core next to lightly provisioned
+    #: suburbs without forking the config schema.
+    cell_capacities: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.rings < 0:
@@ -115,6 +121,26 @@ class NetworkExperimentConfig:
             raise ValueError(f"mean_speed_kmh must be non-negative, got {self.mean_speed_kmh}")
         if self.replication < 0:
             raise ValueError(f"replication must be non-negative, got {self.replication}")
+        if self.cell_capacities is not None:
+            object.__setattr__(self, "cell_capacities", tuple(self.cell_capacities))
+            expected = hex_cell_count(self.rings)
+            if len(self.cell_capacities) != expected:
+                raise ValueError(
+                    f"cell_capacities must list one capacity per cell "
+                    f"({expected} for rings={self.rings}), "
+                    f"got {len(self.cell_capacities)}"
+                )
+            for capacity in self.cell_capacities:
+                if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity <= 0:
+                    raise ValueError(
+                        f"cell capacities must be positive integers, got {capacity!r}"
+                    )
+
+    def capacity_for(self, cell_index: int) -> int:
+        """Capacity (BU) of the cell at ``cell_index`` in spiral order."""
+        if self.cell_capacities is None:
+            return self.capacity_bu
+        return self.cell_capacities[cell_index]
 
     @property
     def stream_master_seed(self) -> int:

@@ -71,6 +71,7 @@ class NetworkSimulation:
             rings=config.rings,
             cell_radius_km=config.cell_radius_km,
             capacity_bu=config.capacity_bu,
+            cell_capacities=config.cell_capacities,
         )
         self._controllers: dict[int, AdmissionController] = {}
         for cell in self._network:

@@ -40,6 +40,7 @@ from .config import BatchExperimentConfig, NetworkExperimentConfig, PAPER_REQUES
 from .engine import run_network_experiment_row
 from .executor import SerialExecutor, SweepExecutor, executor_by_name
 from .results import AggregatedResult, NetworkAggregatedResult, RunResult
+from .shard import run_coupled_sharded_network_experiment_row
 
 __all__ = [
     "SweepPoint",
@@ -54,6 +55,7 @@ __all__ = [
     "NetworkSweepResult",
     "run_network_sweep",
     "run_sharded_network_sweep",
+    "run_coupled_sharded_network_sweep",
     "PAPER_NETWORK_ARRIVAL_RATES",
 ]
 
@@ -553,6 +555,10 @@ def run_sharded_network_sweep(
                         rings=0,
                         seed=config.seed + _SHARD_SEED_STRIDE * cell_index,
                         replication=replication,
+                        # Each single-cell run keeps its own cell's capacity
+                        # from a heterogeneous topology.
+                        capacity_bu=spec.base_config.capacity_for(cell_index),
+                        cell_capacities=None,
                     )
                     tasks.append(
                         NetworkReplicationTask(
@@ -574,4 +580,44 @@ def run_sharded_network_sweep(
         )
     return _assemble_network_result(
         spec, frame, spec.replications * cells, f"{spec.name}-sharded"
+    )
+
+
+def run_coupled_sharded_network_sweep(
+    spec: NetworkSweepSpec,
+    executor: SweepExecutor | str | None = None,
+    window_s: float | None = None,
+) -> NetworkSweepResult:
+    """Run the sweep of ``spec`` on the message-passing sharded engine.
+
+    Unlike :func:`run_sharded_network_sweep`, handoff coupling is
+    preserved: each replication runs the full multi-cell topology through
+    :class:`~repro.simulation.shard.CoupledShardedNetworkSimulation`, where
+    every cell is an independent shard worker and departing calls travel
+    between shards as explicit handoff messages.  Parallelism therefore
+    lives *inside* each run — ``executor`` selects the backend the shards
+    execute on (serial / thread pool / process-worker blocks) — and the
+    replications of the sweep run one after the other.  The conservative
+    window protocol keeps the result byte-identical for every backend and
+    worker count.
+    """
+    tasks = spec.tasks()
+    reducer = FrameReducer("network")
+    rows = [
+        run_coupled_sharded_network_experiment_row(
+            task.config,
+            task.controller_factory,
+            label=task.label,
+            executor=executor,
+            window_s=window_s,
+        )
+        for task in tasks
+    ]
+    frame = reducer.merge([reducer.fold(rows)])
+    if len(frame) != len(tasks):  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"sharded engine returned {len(frame)} rows for {len(tasks)} tasks"
+        )
+    return _assemble_network_result(
+        spec, frame, spec.replications, f"{spec.name}-coupled-sharded"
     )
