@@ -1,0 +1,151 @@
+"""Wall-clock benchmark: rule-base tuning trial throughput on the fast path.
+
+Runs the same seeded 50-trial evolutionary search (10 candidates x 5
+generations over an FLC1 membership peak and a rule weight) through two
+configurations:
+
+* the historical configuration — interpreted reference engine, trials
+  evaluated strictly serially — as the baseline, and
+* the default fast path — compiled engine, trials fanned over a 4-worker
+  process pool — as the measured configuration,
+
+asserting a >= 2x trial-throughput speedup.  Determinism is gated
+alongside: the fast-path report must be byte-identical at 1, 2 and 4
+process workers and to a serial compiled run, and the report must carry
+the tuned-vs-paper QoS comparison.
+
+Writes ``results/BENCH_tuning.json`` with the timings, the gate and the
+tuned candidate's QoS deltas (uploaded as a CI artifact by the full-bench
+job).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import platform
+import time
+from pathlib import Path
+
+from repro.cac.facs.definitions import flc1_definition
+from repro.simulation import ProcessPoolSweepExecutor
+from repro.tuning import ParameterSpec, SearchSpace, run_tuning
+
+SPACE = SearchSpace((
+    ParameterSpec("mf.S.M.1", low=20.0, high=40.0),
+    ParameterSpec("weight.1", low=0.25, high=1.0),
+))
+POPULATION = 10
+GENERATIONS = 5
+TRIAL_COUNT = POPULATION * GENERATIONS
+#: Per-trial workload: big enough that trial compute dominates the pool's
+#: per-generation fan-out overhead, as in ``bench_parallel_sweep``.
+TRIAL_REQUEST_COUNTS = (50, 100)
+TRIAL_REPLICATIONS = 2
+WORKER_COUNTS = (1, 2, 4)
+SPEEDUP_FLOOR = 2.0
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "BENCH_tuning.json"
+
+
+def _run_search(engine: str, executor=None):
+    return run_tuning(
+        flc1_definition(),
+        SPACE,
+        strategy="evolutionary",
+        population=POPULATION,
+        generations=GENERATIONS,
+        request_counts=TRIAL_REQUEST_COUNTS,
+        replications=TRIAL_REPLICATIONS,
+        engine=engine,
+        executor=executor,
+    )
+
+
+def test_tuning_trial_throughput(benchmark):
+    start = time.perf_counter()
+    reference = _run_search("reference")
+    reference_seconds = time.perf_counter() - start
+    assert len(reference.trials) == TRIAL_COUNT
+
+    fast_reports = {}
+    fast_seconds = {}
+    for workers in WORKER_COUNTS:
+        executor = ProcessPoolSweepExecutor(max_workers=workers)
+        start = time.perf_counter()
+        fast_reports[workers] = _run_search("compiled", executor)
+        fast_seconds[workers] = time.perf_counter() - start
+
+    benchmark.pedantic(
+        lambda: _run_search(
+            "compiled", ProcessPoolSweepExecutor(max_workers=WORKER_COUNTS[-1])
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Determinism gate: byte-identical at every worker count and serially.
+    serial = _run_search("compiled")
+    payloads = {pickle.dumps(report.to_dict()) for report in fast_reports.values()}
+    payloads.add(pickle.dumps(serial.to_dict()))
+    assert len(payloads) == 1
+
+    # The report must name a tuned candidate and its QoS deltas vs paper.
+    assert serial.best.score is not None
+    comparison = serial.comparison
+    assert comparison["baseline"] == "paper"
+
+    measured_seconds = fast_seconds[WORKER_COUNTS[-1]]
+    reference_throughput = TRIAL_COUNT / reference_seconds
+    fast_throughput = TRIAL_COUNT / measured_seconds
+    speedup = fast_throughput / reference_throughput
+
+    payload = {
+        "benchmark": "bench_tuning_throughput",
+        "config": {
+            "strategy": "evolutionary",
+            "targets": list(SPACE.targets()),
+            "population": POPULATION,
+            "generations": GENERATIONS,
+            "trials": TRIAL_COUNT,
+            "request_counts": list(TRIAL_REQUEST_COUNTS),
+            "replications": TRIAL_REPLICATIONS,
+            "worker_counts": list(WORKER_COUNTS),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "gates": {"speedup_floor": SPEEDUP_FLOOR},
+        "throughput": {
+            "reference_serial_seconds": round(reference_seconds, 3),
+            "reference_trials_per_s": round(reference_throughput, 2),
+            "compiled_pool_seconds": {
+                str(workers): round(seconds, 3)
+                for workers, seconds in fast_seconds.items()
+            },
+            "compiled_trials_per_s": round(fast_throughput, 2),
+            "speedup": round(speedup, 2),
+        },
+        "determinism": {
+            "byte_identical_worker_counts": list(WORKER_COUNTS),
+            "byte_identical_to_serial": True,
+        },
+        "tuned": {
+            "baseline_score": serial.baseline_score,
+            "best_score": serial.best.score,
+            "best_values": list(serial.best.values),
+            "comparison": comparison,
+        },
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    benchmark.extra_info.update(payload["throughput"])
+    benchmark.extra_info["results_file"] = str(RESULTS_PATH)
+    print(
+        f"\ntuning: reference+serial {reference_seconds:.2f}s, "
+        f"compiled+pool({WORKER_COUNTS[-1]}) {measured_seconds:.2f}s "
+        f"({fast_throughput:.1f} trials/s), speedup {speedup:.2f}x "
+        f"-> {RESULTS_PATH.name}"
+    )
+    assert speedup >= SPEEDUP_FLOOR

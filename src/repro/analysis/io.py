@@ -24,12 +24,18 @@ Versioning policy
   standalone ``metrics-frame`` codec below) and the optional
   ``baseline``/``deltas`` comparison fields.  All additive, so the v1→v2
   migration is the identity.
-* **v3** — current.  Adds the ``network-sweep-coupled-sharded`` scenario
+* **v3** — Adds the ``network-sweep-coupled-sharded`` scenario
   kind (per-cell shard workers with message-passing handoffs) with its
   ``window_s``/``cell_capacities`` fields, and the ``handoff_coupling``
   provenance key inside network-sweep ``RunReport`` metrics.  All
   additive — old payloads simply lack the kind and the keys — so the
   v2→v3 migration is the identity.
+* **v4** — current.  Adds the ``flc-definition`` payload (declarative
+  fuzzy-controller definitions, :mod:`repro.fuzzy.definition`), the
+  ``tuning`` scenario kind and its ``tuning`` ``RunReport`` metrics
+  payload (:mod:`repro.tuning`).  All additive — old payloads simply
+  lack the kind and the codecs — so the v3→v4 migration is the
+  identity.
 * Future breaking field changes must bump :data:`SCHEMA_VERSION` and add a
   migration step to :data:`_MIGRATIONS`; decoding a payload newer than the
   running build always fails loudly rather than guessing.
@@ -44,6 +50,7 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from ..fuzzy.definition import DefinitionError, FLCDefinition
 from ..simulation.sweep import (
     NetworkSweepCurve,
     NetworkSweepPoint,
@@ -69,6 +76,11 @@ __all__ = [
     "network_sweep_result_from_dict",
     "metrics_frame_to_dict",
     "metrics_frame_from_dict",
+    "flc_definition_to_dict",
+    "flc_definition_from_dict",
+    "flc_definition_to_json",
+    "write_flc_definition_json",
+    "read_flc_definition_json",
     "write_result_json",
     "read_result_json",
 ]
@@ -77,7 +89,7 @@ __all__ = [
 # Payload schema versioning
 # ----------------------------------------------------------------------
 #: Version stamped into every newly serialized API payload.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 class PayloadVersionError(ValueError):
@@ -117,11 +129,22 @@ def _migrate_v2_to_v3(payload: dict[str, Any]) -> dict[str, Any]:
     return payload
 
 
+def _migrate_v3_to_v4(payload: dict[str, Any]) -> dict[str, Any]:
+    """v3 → v4: the identity — v4 only *added* payload kinds.
+
+    New in v4: the ``flc-definition`` codec (declarative fuzzy-controller
+    definitions) and the ``tuning`` scenario kind with its report
+    metrics payload.  Old payloads simply lack them.
+    """
+    return payload
+
+
 #: Migration steps: version ``n`` → the function upgrading ``n`` to ``n+1``.
 _MIGRATIONS: dict[int, Callable[[dict[str, Any]], dict[str, Any]]] = {
     0: _migrate_v0_to_v1,
     1: _migrate_v1_to_v2,
     2: _migrate_v2_to_v3,
+    3: _migrate_v3_to_v4,
 }
 
 
@@ -442,6 +465,62 @@ def metrics_frame_from_dict(payload: Mapping[str, Any]) -> MetricsFrame:
         tuple(data["controller_vocab"]),
         tuple(data["param_names"]),
     )
+
+
+# ----------------------------------------------------------------------
+# FLC definition codec (lossless, schema-versioned)
+# ----------------------------------------------------------------------
+_FLC_DEFINITION_TYPE = "flc-definition"
+
+
+def flc_definition_to_dict(definition: FLCDefinition) -> dict:
+    """Lossless, schema-versioned dict form of an :class:`FLCDefinition`."""
+    return versioned_payload({"type": _FLC_DEFINITION_TYPE, **definition.to_dict()})
+
+
+def flc_definition_from_dict(payload: Mapping[str, Any]) -> FLCDefinition:
+    """Rebuild a definition written by :func:`flc_definition_to_dict`."""
+    data = migrate_payload(payload, "controller definition")
+    if data.pop("type", None) != _FLC_DEFINITION_TYPE:
+        raise ValueError(
+            f"expected a {_FLC_DEFINITION_TYPE!r} payload, "
+            f"got type={payload.get('type')!r}"
+        )
+    return FLCDefinition.from_dict(data)
+
+
+def flc_definition_to_json(definition: FLCDefinition) -> str:
+    """Canonical JSON text of a definition (byte-stable for a fixed input)."""
+    return json.dumps(flc_definition_to_dict(definition), indent=2) + "\n"
+
+
+def write_flc_definition_json(definition: FLCDefinition, path: str | Path) -> Path:
+    """Write a controller definition to a JSON file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(flc_definition_to_json(definition))
+    return target
+
+
+def read_flc_definition_json(path: str | Path) -> FLCDefinition:
+    """Read a definition previously written by :func:`write_flc_definition_json`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise DefinitionError(f"cannot read controller definition {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise DefinitionError(
+            f"controller definition {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, Mapping):
+        raise DefinitionError(
+            f"controller definition {path} must hold a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    try:
+        return flc_definition_from_dict(payload)
+    except (ValueError, PayloadVersionError) as exc:
+        raise DefinitionError(f"controller definition {path}: {exc}") from exc
 
 
 def write_result_json(result: SweepResult | NetworkSweepResult, path: str | Path) -> Path:

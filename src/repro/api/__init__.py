@@ -103,6 +103,7 @@ from .scenario import (
     ShardedNetworkSweepScenario,
     SurfaceScenario,
     TraceArrivalsScenario,
+    TuningScenario,
     scenario_kind,
 )
 
@@ -147,6 +148,7 @@ __all__ = [
     "NetworkIntegrationScenario",
     "TraceArrivalsScenario",
     "ServiceReplayScenario",
+    "TuningScenario",
     "SCENARIO_KINDS",
     "scenario_kind",
     # registries

@@ -67,6 +67,9 @@ __all__ = [
     "register_controller",
     "register_scenario",
     "controller_factory",
+    "definition_controller_factory",
+    "is_definition_controller",
+    "DEFINITION_CONTROLLER_SUFFIX",
     "scenario_for",
     "scenario_ids",
     "DEFAULT_NETWORK_CONTROLLERS",
@@ -98,8 +101,57 @@ def register_controller(name: str, *, replace: bool = False):
     return CONTROLLERS.register(name, replace=replace)
 
 
+#: Suffix marking a controller id as a definition file rather than a
+#: registered name.  ``examples/controllers/flc1.json`` is a valid
+#: controller id everywhere a registered name is (Scenario, Campaign, CLI).
+DEFINITION_CONTROLLER_SUFFIX = ".json"
+
+
+def is_definition_controller(name: str) -> bool:
+    """True when ``name`` addresses an FLC-definition file, not a registry key."""
+    return (
+        name.endswith(DEFINITION_CONTROLLER_SUFFIX) and name not in CONTROLLERS
+    )
+
+
+def definition_controller_factory(
+    path: str, engine: str = "compiled"
+) -> ControllerFactory:
+    """FACS factory for a standalone FLC-definition JSON file.
+
+    The file holds one stage of the two-stage FACS pipeline; which stage is
+    recognised from its variable names (``S/A/D → Cv`` fills the FLC1 slot,
+    ``Cv/R/Cs → AR`` the FLC2 slot) and the other stage keeps the paper's
+    built-in controller.
+    """
+    from ..analysis.io import read_flc_definition_json
+    from ..cac.facs.definitions import FLC1_VARIABLES, FLC2_VARIABLES
+    from ..fuzzy.definition import DefinitionError
+
+    definition = read_flc_definition_json(path)
+    signature = (definition.input_names(), definition.output_names())
+    if signature == FLC1_VARIABLES:
+        config = FACSConfig(engine=engine, flc1_definition=definition)
+    elif signature == FLC2_VARIABLES:
+        config = FACSConfig(engine=engine, flc2_definition=definition)
+    else:
+        raise DefinitionError(
+            f"controller definition {path} fits neither FACS slot: "
+            f"FLC1 needs {FLC1_VARIABLES[0]} -> {FLC1_VARIABLES[1]}, "
+            f"FLC2 needs {FLC2_VARIABLES[0]} -> {FLC2_VARIABLES[1]}, "
+            f"got {signature[0]} -> {signature[1]}"
+        )
+    return facs_factory(config)
+
+
 def controller_factory(name: str, engine: str = "compiled") -> ControllerFactory:
-    """Resolve a registered controller name into a fresh-instance factory."""
+    """Resolve a controller id into a fresh-instance factory.
+
+    ``name`` is either a registered controller name or the path of an
+    FLC-definition JSON file (any id ending in ``.json``).
+    """
+    if is_definition_controller(name):
+        return definition_controller_factory(name, engine=engine)
     return CONTROLLERS.get(name)(engine=engine)
 
 

@@ -50,6 +50,7 @@ from ..simulation.results import RunResult
 from ..simulation.trace import TraceRunResult, run_trace_arrivals
 from ..service.replay import run_service_replay
 from ..service.server import ServiceConfig, ServiceReport, render_service_report
+from ..tuning.engine import render_tuning_report, run_tuning
 from .registry import (
     ABLATIONS,
     ARTIFACTS,
@@ -71,6 +72,7 @@ from .scenario import (
     ShardedNetworkSweepScenario,
     SurfaceScenario,
     TraceArrivalsScenario,
+    TuningScenario,
 )
 
 __all__ = [
@@ -629,3 +631,23 @@ def _run_service_replay(scenario: ServiceReplayScenario) -> tuple[str, dict[str,
     metrics = {"type": "service-replay", **report.to_dict()}
     metrics["frame"] = metrics_frame_to_dict(frame)
     return render_service_report(report), metrics
+
+
+@_handles(TuningScenario)
+def _run_tuning(scenario: TuningScenario) -> tuple[str, dict[str, Any]]:
+    report = run_tuning(
+        scenario.base_definition(),
+        scenario.search_space(),
+        strategy=scenario.strategy,
+        objective=scenario.objective,
+        direction=scenario.direction,
+        request_counts=scenario.request_counts,
+        replications=scenario.replications,
+        seed=scenario.seed,
+        engine=scenario.engine,
+        executor=_build_executor(scenario),
+        population=scenario.population,
+        generations=scenario.generations,
+        max_trials=scenario.max_trials,
+    )
+    return render_tuning_report(report), report.to_dict()

@@ -29,6 +29,10 @@ from ..cellular.network import hex_cell_count
 from ..simulation.config import PAPER_REQUEST_COUNTS
 from ..simulation.executor import EXECUTORS
 from ..simulation.sweep import PAPER_NETWORK_ARRIVAL_RATES
+from ..fuzzy.definition import DefinitionError
+from ..tuning.space import ParameterSpec, SearchSpace, TuningError
+from ..tuning.strategies import STRATEGIES
+from .report import COMPARISON_METRICS
 from .registry import (
     ABLATIONS,
     ARTIFACTS,
@@ -36,6 +40,7 @@ from .registry import (
     DEFAULT_NETWORK_CONTROLLERS,
     FIGURES,
     SURFACES,
+    is_definition_controller,
     register_scenario,
 )
 
@@ -54,6 +59,7 @@ __all__ = [
     "NetworkIntegrationScenario",
     "TraceArrivalsScenario",
     "ServiceReplayScenario",
+    "TuningScenario",
 ]
 
 
@@ -125,9 +131,19 @@ def _check_controllers(controllers: tuple[str, ...]) -> None:
     duplicates = sorted({c for c in controllers if controllers.count(c) > 1})
     _require(not duplicates, f"duplicate controllers: {', '.join(duplicates)}")
     for name in controllers:
+        if is_definition_controller(name):
+            # A definition-file id: existence is checked here so a typo'd
+            # path fails at scenario validation, not mid-run; the payload
+            # itself is parsed when the controller factory resolves.
+            _require(
+                Path(name).is_file(),
+                f"controller definition file not found: {name!r}",
+            )
+            continue
         _require(
             name in CONTROLLERS,
-            f"unknown controller {name!r}; available: {list(CONTROLLERS)}",
+            f"unknown controller {name!r}; available: {list(CONTROLLERS)} "
+            f"or a path to an FLC-definition JSON file",
         )
 
 
@@ -654,6 +670,116 @@ class ServiceReplayScenario(Scenario):
     @property
     def slug(self) -> str:
         return "service-replay"
+
+
+#: Tiny default search space: two candidate peaks for FLC1's *Middle*
+#: speed triangle — enough for a smoke-test `repro tune` with no config.
+DEFAULT_TUNING_PARAMETERS = (
+    ParameterSpec("mf.S.M.1", choices=(25.0, 35.0)),
+)
+
+
+@scenario_kind("tuning")
+@dataclass(frozen=True)
+class TuningScenario(Scenario):
+    """An automated rule-base tuning run over a controller definition.
+
+    ``controller`` names the base :class:`~repro.fuzzy.definition.FLCDefinition`
+    the search starts from — the built-in ``"FLC1"``/``"FLC2"`` exports or a
+    path to an FLC-definition JSON file — and ``parameters`` declares the
+    tunable membership break points and rule weights
+    (:class:`~repro.tuning.space.ParameterSpec` entries).  The named
+    strategy proposes candidate value vectors, every candidate is scored
+    by the paper's acceptance sweep (``request_counts`` x ``replications``,
+    seeded) through the registered ``objective`` comparison metric, and
+    generations fan over the chosen executor.  Results are byte-identical
+    at any worker count.
+    """
+
+    controller: str = "FLC1"
+    parameters: tuple[ParameterSpec, ...] = DEFAULT_TUNING_PARAMETERS
+    strategy: str = "grid"
+    objective: str = "mean_acceptance"
+    direction: str = "maximize"
+    request_counts: tuple[int, ...] = (10, 30)
+    replications: int = 2
+    population: int = 8
+    generations: int = 6
+    max_trials: int | None = None
+    seed: int = 20070801
+    engine: str = "compiled"
+    executor: str = "serial"
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.controller, str) and bool(self.controller),
+            f"controller must be a non-empty string, got {self.controller!r}",
+        )
+        if self.controller.endswith(".json"):
+            _require(
+                Path(self.controller).is_file(),
+                f"controller definition file not found: {self.controller!r}",
+            )
+        else:
+            _require(
+                self.controller in ("FLC1", "FLC2"),
+                f"controller must be 'FLC1', 'FLC2' or a path to an "
+                f"FLC-definition JSON file, got {self.controller!r}",
+            )
+        try:
+            space = SearchSpace(tuple(self.parameters))
+            space.validate_against(self.base_definition())
+        except (TuningError, DefinitionError) as exc:
+            raise ScenarioError(f"invalid tuning parameters: {exc}") from exc
+        object.__setattr__(self, "parameters", space.specs)
+        _require(
+            self.strategy in STRATEGIES,
+            f"unknown tuning strategy {self.strategy!r}; "
+            f"available: {STRATEGIES.names()}",
+        )
+        _require(
+            self.objective in COMPARISON_METRICS,
+            f"unknown tuning objective {self.objective!r}; "
+            f"available: {COMPARISON_METRICS.names()}",
+        )
+        _require(
+            self.direction in ("maximize", "minimize"),
+            f"direction must be 'maximize' or 'minimize', "
+            f"got {self.direction!r}",
+        )
+        _require(bool(self.request_counts), "request_counts must not be empty")
+        for value in self.request_counts:
+            _check_int(value, "request_counts entry", 1)
+        _check_int(self.replications, "replications", 1)
+        _check_int(self.population, "population", 1)
+        _check_int(self.generations, "generations", 1)
+        _check_optional_int(self.max_trials, "max_trials", 1)
+        _check_seed(self.seed)
+        _check_engine(self.engine)
+        _check_executor(self.executor, self.workers)
+
+    def search_space(self) -> SearchSpace:
+        """The validated :class:`SearchSpace` over the base definition."""
+        return SearchSpace(self.parameters)
+
+    def base_definition(self):
+        """Resolve ``controller`` to the definition the search starts from."""
+        from ..analysis.io import read_flc_definition_json
+        from ..cac.facs.definitions import builtin_definitions
+
+        if self.controller.endswith(".json"):
+            return read_flc_definition_json(Path(self.controller))
+        return builtin_definitions()[self.controller]
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = super().to_dict()
+        payload["parameters"] = [spec.to_dict() for spec in self.parameters]
+        return payload
+
+    @property
+    def slug(self) -> str:
+        return f"tune-{Path(self.controller).stem.lower()}"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,74 @@
+"""Declarative definitions of the paper's built-in FLC1/FLC2 controllers.
+
+These are the bridge between the in-code controllers (``flc1.py`` /
+``flc2.py``, parameterized by :class:`FLC1Config`/:class:`FLC2Config`) and
+the definition-file world: :func:`flc1_definition` and
+:func:`flc2_definition` extract a lossless :class:`FLCDefinition` from the
+exact same variables and rule tables the in-code constructors use, so a
+definition built here — or loaded back from its JSON export under
+``examples/controllers/`` — compiles to a bit-identical control surface.
+
+The extraction goes through a cheap :class:`RuleBase` (validation only, no
+inference-engine compilation), so these functions are safe to call in
+import-adjacent paths.
+"""
+
+from __future__ import annotations
+
+from ....fuzzy.definition import FLCDefinition, definition_from_rule_base
+from ....fuzzy.rules import RuleBase
+from ..config import DEFAULT_FLC1_CONFIG, DEFAULT_FLC2_CONFIG, FLC1Config, FLC2Config
+from ..frb1 import frb1_rules
+from ..frb2 import frb2_rules
+
+__all__ = [
+    "flc1_definition",
+    "flc2_definition",
+    "builtin_definitions",
+    "FLC1_VARIABLES",
+    "FLC2_VARIABLES",
+]
+
+#: (input names, output names) signatures used to recognise which slot a
+#: standalone definition file fills inside the two-stage FACS pipeline.
+FLC1_VARIABLES: tuple[tuple[str, ...], tuple[str, ...]] = (("S", "A", "D"), ("Cv",))
+FLC2_VARIABLES: tuple[tuple[str, ...], tuple[str, ...]] = (("Cv", "R", "Cs"), ("AR",))
+
+
+def flc1_definition(
+    config: FLC1Config = DEFAULT_FLC1_CONFIG, defuzzifier: str = "centroid"
+) -> FLCDefinition:
+    """The paper's FLC1 (FRB1, 42 rules) as a declarative definition."""
+    rule_base = RuleBase(
+        frb1_rules(),
+        inputs=[
+            config.speed_variable(),
+            config.angle_variable(),
+            config.distance_variable(),
+        ],
+        outputs=[config.correction_variable()],
+        name="FLC1-rules",
+    )
+    return definition_from_rule_base(rule_base, "FLC1", defuzzifier=defuzzifier)
+
+
+def flc2_definition(
+    config: FLC2Config = DEFAULT_FLC2_CONFIG, defuzzifier: str = "centroid"
+) -> FLCDefinition:
+    """The paper's FLC2 (FRB2, 27 rules) as a declarative definition."""
+    rule_base = RuleBase(
+        frb2_rules(),
+        inputs=[
+            config.correction_variable(),
+            config.request_variable(),
+            config.counter_variable(),
+        ],
+        outputs=[config.decision_variable()],
+        name="FLC2-rules",
+    )
+    return definition_from_rule_base(rule_base, "FLC2", defuzzifier=defuzzifier)
+
+
+def builtin_definitions() -> dict[str, FLCDefinition]:
+    """Both built-in definitions keyed by the controller name."""
+    return {"FLC1": flc1_definition(), "FLC2": flc2_definition()}

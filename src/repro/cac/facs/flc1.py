@@ -16,10 +16,27 @@ import numpy as np
 from ...cellular.mobility import UserState
 from ...fuzzy.controller import FuzzyController
 from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
+from ...fuzzy.definition import DefinitionError, FLCDefinition
 from .config import DEFAULT_FLC1_CONFIG, FLC1Config
 from .frb1 import frb1_rules
 
 __all__ = ["FLC1", "CorrectionResult"]
+
+
+def _check_definition_shape(
+    definition: FLCDefinition,
+    inputs: tuple[str, ...],
+    outputs: tuple[str, ...],
+    slot: str,
+) -> None:
+    """Reject a definition whose variables don't fit the FACS pipeline slot."""
+    if definition.input_names() != inputs or definition.output_names() != outputs:
+        raise DefinitionError(
+            f"definition {definition.name!r} does not fit the {slot} slot: "
+            f"expected inputs {list(inputs)} and outputs {list(outputs)}, "
+            f"got inputs {list(definition.input_names())} and outputs "
+            f"{list(definition.output_names())}"
+        )
 
 
 @dataclass(frozen=True)
@@ -45,25 +62,41 @@ class FLC1:
         config: FLC1Config = DEFAULT_FLC1_CONFIG,
         defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
         engine: str = "compiled",
+        definition: FLCDefinition | None = None,
     ):
         self._config = config
-        self._controller = FuzzyController(
-            name="FLC1",
-            inputs=[
-                config.speed_variable(),
-                config.angle_variable(),
-                config.distance_variable(),
-            ],
-            outputs=[config.correction_variable()],
-            rules=frb1_rules(),
-            defuzzifier=defuzzifier,
-            engine=engine,
-        )
+        self._definition = definition
+        if definition is not None:
+            _check_definition_shape(definition, ("S", "A", "D"), ("Cv",), "FLC1")
+            self._controller = definition.build_controller(
+                engine=engine,
+                defuzzifier=(
+                    None if defuzzifier is DEFAULT_DEFUZZIFIER else defuzzifier
+                ),
+            )
+        else:
+            self._controller = FuzzyController(
+                name="FLC1",
+                inputs=[
+                    config.speed_variable(),
+                    config.angle_variable(),
+                    config.distance_variable(),
+                ],
+                outputs=[config.correction_variable()],
+                rules=frb1_rules(),
+                defuzzifier=defuzzifier,
+                engine=engine,
+            )
 
     # ------------------------------------------------------------------
     @property
     def config(self) -> FLC1Config:
         return self._config
+
+    @property
+    def definition(self) -> FLCDefinition | None:
+        """The declarative definition this controller was built from, if any."""
+        return self._definition
 
     @property
     def controller(self) -> FuzzyController:

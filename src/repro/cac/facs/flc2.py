@@ -15,8 +15,10 @@ import numpy as np
 
 from ...fuzzy.controller import FuzzyController
 from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
+from ...fuzzy.definition import FLCDefinition
 from ..base import DecisionOutcome
 from .config import DEFAULT_FLC2_CONFIG, FLC2Config
+from .flc1 import _check_definition_shape
 from .frb2 import frb2_rules
 
 __all__ = ["FLC2", "DecisionResult"]
@@ -48,25 +50,41 @@ class FLC2:
         config: FLC2Config = DEFAULT_FLC2_CONFIG,
         defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
         engine: str = "compiled",
+        definition: FLCDefinition | None = None,
     ):
         self._config = config
-        self._controller = FuzzyController(
-            name="FLC2",
-            inputs=[
-                config.correction_variable(),
-                config.request_variable(),
-                config.counter_variable(),
-            ],
-            outputs=[config.decision_variable()],
-            rules=frb2_rules(),
-            defuzzifier=defuzzifier,
-            engine=engine,
-        )
+        self._definition = definition
+        if definition is not None:
+            _check_definition_shape(definition, ("Cv", "R", "Cs"), ("AR",), "FLC2")
+            self._controller = definition.build_controller(
+                engine=engine,
+                defuzzifier=(
+                    None if defuzzifier is DEFAULT_DEFUZZIFIER else defuzzifier
+                ),
+            )
+        else:
+            self._controller = FuzzyController(
+                name="FLC2",
+                inputs=[
+                    config.correction_variable(),
+                    config.request_variable(),
+                    config.counter_variable(),
+                ],
+                outputs=[config.decision_variable()],
+                rules=frb2_rules(),
+                defuzzifier=defuzzifier,
+                engine=engine,
+            )
 
     # ------------------------------------------------------------------
     @property
     def config(self) -> FLC2Config:
         return self._config
+
+    @property
+    def definition(self) -> FLCDefinition | None:
+        """The declarative definition this controller was built from, if any."""
+        return self._definition
 
     @property
     def controller(self) -> FuzzyController:

@@ -28,6 +28,7 @@ from ...cellular.cell import BaseStation
 from ...cellular.mobility import UserState
 from ...fuzzy.controller import ENGINES
 from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
+from ...fuzzy.definition import FLCDefinition
 from ..base import AdmissionController, AdmissionDecision
 from ..counters import ServiceCounters
 from .config import DEFAULT_FLC1_CONFIG, DEFAULT_FLC2_CONFIG, FLC1Config, FLC2Config
@@ -53,6 +54,13 @@ class FACSConfig:
     #: the default — bit-identical to the reference for the paper operators),
     #: ``"reference"`` (interpreted per-rule loop) or ``"auto"``.
     engine: str = "compiled"
+    #: Declarative overrides for the two pipeline stages.  When set, the
+    #: stage is built from the definition (see :mod:`repro.fuzzy.definition`)
+    #: instead of the corresponding ``FLC1Config``/``FLC2Config`` builders;
+    #: definitions are frozen and hashable, so definition-backed configs
+    #: still share memoised controllers and ship to worker processes.
+    flc1_definition: FLCDefinition | None = None
+    flc2_definition: FLCDefinition | None = None
 
     def __post_init__(self) -> None:
         if not -1.0 <= self.acceptance_threshold <= 1.0:
@@ -62,6 +70,13 @@ class FACSConfig:
         if self.engine not in ENGINES:
             choices = "', '".join(sorted(ENGINES))
             raise ValueError(f"engine must be '{choices}', got {self.engine!r}")
+
+    @property
+    def counter_capacity_bu(self) -> int:
+        """Base-station capacity implied by FLC2's counter (``Cs``) universe."""
+        if self.flc2_definition is not None:
+            return int(self.flc2_definition.variable("Cs").universe[1])
+        return int(self.flc2.counter_universe[1])
 
 
 @lru_cache(maxsize=64)
@@ -83,6 +98,22 @@ def _shared_flc1(config: FLC1Config, defuzzifier: Defuzzifier, engine: str) -> F
 def _shared_flc2(config: FLC2Config, defuzzifier: Defuzzifier, engine: str) -> FLC2:
     """Build (or reuse) the FLC2 for a configuration (see :func:`_shared_flc1`)."""
     return FLC2(config, defuzzifier=defuzzifier, engine=engine)
+
+
+@lru_cache(maxsize=64)
+def _shared_flc1_from_definition(
+    definition: FLCDefinition, defuzzifier: Defuzzifier, engine: str
+) -> FLC1:
+    """Build (or reuse) a definition-backed FLC1 (see :func:`_shared_flc1`)."""
+    return FLC1(definition=definition, defuzzifier=defuzzifier, engine=engine)
+
+
+@lru_cache(maxsize=64)
+def _shared_flc2_from_definition(
+    definition: FLCDefinition, defuzzifier: Defuzzifier, engine: str
+) -> FLC2:
+    """Build (or reuse) a definition-backed FLC2 (see :func:`_shared_flc1`)."""
+    return FLC2(definition=definition, defuzzifier=defuzzifier, engine=engine)
 
 
 @dataclass(frozen=True)
@@ -115,20 +146,36 @@ class FuzzyAdmissionControlSystem(AdmissionController):
         defuzzifier: Defuzzifier = DEFAULT_DEFUZZIFIER,
     ):
         self._config = config or FACSConfig()
+        cfg = self._config
         try:
-            self._flc1 = _shared_flc1(self._config.flc1, defuzzifier, self._config.engine)
-            self._flc2 = _shared_flc2(self._config.flc2, defuzzifier, self._config.engine)
+            if cfg.flc1_definition is not None:
+                self._flc1 = _shared_flc1_from_definition(
+                    cfg.flc1_definition, defuzzifier, cfg.engine
+                )
+            else:
+                self._flc1 = _shared_flc1(cfg.flc1, defuzzifier, cfg.engine)
+            if cfg.flc2_definition is not None:
+                self._flc2 = _shared_flc2_from_definition(
+                    cfg.flc2_definition, defuzzifier, cfg.engine
+                )
+            else:
+                self._flc2 = _shared_flc2(cfg.flc2, defuzzifier, cfg.engine)
         except TypeError:
             # Unhashable custom config/defuzzifier: skip the memo and build
             # directly, preserving the pre-memoisation contract.
             self._flc1 = FLC1(
-                self._config.flc1, defuzzifier=defuzzifier, engine=self._config.engine
+                cfg.flc1,
+                defuzzifier=defuzzifier,
+                engine=cfg.engine,
+                definition=cfg.flc1_definition,
             )
             self._flc2 = FLC2(
-                self._config.flc2, defuzzifier=defuzzifier, engine=self._config.engine
+                cfg.flc2,
+                defuzzifier=defuzzifier,
+                engine=cfg.engine,
+                definition=cfg.flc2_definition,
             )
-        capacity = int(self._config.flc2.counter_universe[1])
-        self._counters = ServiceCounters(capacity_bu=capacity)
+        self._counters = ServiceCounters(capacity_bu=cfg.counter_capacity_bu)
 
     # ------------------------------------------------------------------
     @property

@@ -46,6 +46,7 @@ from .api import (
     scenario_for,
     scenario_ids,
 )
+from .api.registry import DEFINITION_CONTROLLER_SUFFIX
 from .api.scenario import (
     ArtifactScenario,
     CoupledShardedNetworkSweepScenario,
@@ -55,7 +56,9 @@ from .api.scenario import (
     ShardedNetworkSweepScenario,
     SurfaceScenario,
     TraceArrivalsScenario,
+    TuningScenario,
 )
+from .tuning import STRATEGIES, TuningError
 from .experiments import EXPERIMENTS
 from .simulation.sweep import PAPER_NETWORK_ARRIVAL_RATES
 
@@ -98,6 +101,20 @@ _SERVICE_REPLAY_SHAPING_DEFAULTS: dict[str, object] = {
     "queue_capacity": 64,
     "seed": 20070628,
     "engine": "compiled",
+}
+_TUNE_SHAPING_DEFAULTS: dict[str, object] = {
+    "controller": "FLC1",
+    "parameter": None,
+    "strategy": "grid",
+    "objective": "mean_acceptance",
+    "direction": "maximize",
+    "requests": [10, 30],
+    "replications": 2,
+    "population": 8,
+    "generations": 6,
+    "max_trials": None,
+    "seed": 20070801,
+    **_SHARED_SHAPING_DEFAULTS,
 }
 
 
@@ -153,6 +170,36 @@ def _add_report_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="persist the RunReport as <DIR>/<scenario>.json",
     )
+
+
+def _parse_parameter_spec(text: str) -> dict[str, object]:
+    """Parse a ``--parameter`` value into a ParameterSpec payload.
+
+    ``TARGET=LOW:HIGH[:STEPS]`` declares a bounded parameter,
+    ``TARGET=V1,V2,...`` a discrete choice list — e.g. ``mf.S.M.1=20:40:5``
+    or ``weight.12=0.5,1.0``.
+    """
+    target, sep, rest = text.partition("=")
+    if not sep or not target or not rest:
+        raise argparse.ArgumentTypeError(
+            f"expected TARGET=LOW:HIGH[:STEPS] or TARGET=V1,V2,..., got {text!r}"
+        )
+    try:
+        if ":" in rest:
+            pieces = rest.split(":")
+            if len(pieces) not in (2, 3):
+                raise ValueError(f"expected LOW:HIGH or LOW:HIGH:STEPS, got {rest!r}")
+            spec: dict[str, object] = {
+                "target": target,
+                "low": float(pieces[0]),
+                "high": float(pieces[1]),
+            }
+            if len(pieces) == 3:
+                spec["steps"] = int(pieces[2])
+            return spec
+        return {"target": target, "choices": [float(v) for v in rest.split(",")]}
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid parameter {text!r}: {exc}")
 
 
 def _add_service_batching_flags(
@@ -319,6 +366,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="fuzzy inference engine for the FACS controller",
     )
     _add_report_flags(service_replay)
+
+    tune = subparsers.add_parser(
+        "tune",
+        help="search membership break points / rule weights of a controller "
+        "definition for the best QoS objective (seeded, deterministic)",
+    )
+    tune.add_argument(
+        "--controller",
+        default=_TUNE_SHAPING_DEFAULTS["controller"],
+        help="base definition to tune: FLC1, FLC2 or a path to an "
+        "FLC-definition JSON file (see examples/controllers/)",
+    )
+    tune.add_argument(
+        "--parameter",
+        type=_parse_parameter_spec,
+        action="append",
+        default=_TUNE_SHAPING_DEFAULTS["parameter"],
+        metavar="TARGET=LOW:HIGH[:STEPS]|TARGET=V1,V2,...",
+        help="tunable scalar (repeatable): a membership break point "
+        "(mf.<variable>.<term>.<index>) or rule weight (weight.<label>) "
+        "with bounds or a choice list; default: a tiny 2-point demo space",
+    )
+    tune.add_argument(
+        "--strategy",
+        choices=list(STRATEGIES.names()),
+        default=_TUNE_SHAPING_DEFAULTS["strategy"],
+        help="candidate generator: exhaustive grid or seeded evolutionary",
+    )
+    tune.add_argument(
+        "--objective",
+        choices=list(COMPARISON_METRICS.names()),
+        default=_TUNE_SHAPING_DEFAULTS["objective"],
+        help="registered comparison metric scored per trial",
+    )
+    tune.add_argument(
+        "--direction",
+        choices=["maximize", "minimize"],
+        default=_TUNE_SHAPING_DEFAULTS["direction"],
+        help="whether a better trial has a higher or lower objective",
+    )
+    tune.add_argument(
+        "--requests",
+        type=int,
+        nargs="+",
+        default=list(_TUNE_SHAPING_DEFAULTS["requests"]),
+        help="request counts of the per-trial acceptance sweep",
+    )
+    tune.add_argument(
+        "--replications",
+        type=int,
+        default=_TUNE_SHAPING_DEFAULTS["replications"],
+        help="seeded replications per sweep point in every trial",
+    )
+    tune.add_argument(
+        "--population",
+        type=int,
+        default=_TUNE_SHAPING_DEFAULTS["population"],
+        help="candidates per generation (evolutionary strategy)",
+    )
+    tune.add_argument(
+        "--generations",
+        type=int,
+        default=_TUNE_SHAPING_DEFAULTS["generations"],
+        help="generations to run (evolutionary strategy)",
+    )
+    tune.add_argument(
+        "--max-trials",
+        type=int,
+        default=_TUNE_SHAPING_DEFAULTS["max_trials"],
+        help="hard cap on evaluated trials (default: strategy decides)",
+    )
+    tune.add_argument(
+        "--seed",
+        type=int,
+        default=_TUNE_SHAPING_DEFAULTS["seed"],
+        help="master seed of the search and of every trial workload",
+    )
+    _add_performance_flags(tune)
+    _add_report_flags(tune)
 
     serve = subparsers.add_parser(
         "serve",
@@ -561,6 +687,14 @@ def _registries_payload() -> dict[str, object]:
         ],
         "executors": list(EXECUTORS.names()),
         "comparison_metrics": list(COMPARISON_METRICS.names()),
+        "tuning_strategies": list(STRATEGIES.names()),
+        "controller_definitions": {
+            "suffix": DEFINITION_CONTROLLER_SUFFIX,
+            "builtin_exports": [
+                "examples/controllers/flc1.json",
+                "examples/controllers/flc2.json",
+            ],
+        },
     }
 
 
@@ -612,7 +746,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             CampaignRunner(reuse_saved=args.reuse_saved).run(campaign), args
         )
 
-    if args.command in ("run", "network-sweep"):
+    if args.command in ("run", "network-sweep", "tune"):
         if args.workers is not None and args.executor == "serial":
             parser.error("--workers requires --executor process or thread")
 
@@ -660,6 +794,44 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ScenarioError as exc:
             parser.error(str(exc))
         return _emit_report(Runner().run(scenario), args)
+
+    if args.command == "tune":
+        try:
+            if args.config is not None:
+                _reject_shaping_flags_with_config(parser, args, _TUNE_SHAPING_DEFAULTS)
+                scenario = Scenario.from_file(args.config)
+                if not isinstance(scenario, TuningScenario):
+                    parser.error(
+                        f"tune --config requires a 'tuning' scenario, got "
+                        f"kind {scenario.kind!r}"
+                    )
+            else:
+                kwargs: dict[str, object] = {
+                    "controller": args.controller,
+                    "strategy": args.strategy,
+                    "objective": args.objective,
+                    "direction": args.direction,
+                    "request_counts": tuple(args.requests),
+                    "replications": args.replications,
+                    "population": args.population,
+                    "generations": args.generations,
+                    "max_trials": args.max_trials,
+                    "seed": args.seed,
+                    "engine": args.engine,
+                    "executor": args.executor,
+                    "workers": args.workers,
+                }
+                if args.parameter:
+                    kwargs["parameters"] = tuple(args.parameter)
+                scenario = TuningScenario(**kwargs)
+        except OSError as exc:
+            parser.error(f"cannot read scenario config: {exc}")
+        except ScenarioError as exc:
+            parser.error(str(exc))
+        try:
+            return _emit_report(Runner().run(scenario), args)
+        except TuningError as exc:
+            parser.error(str(exc))
 
     if args.command == "serve":
         from .cac.facs.system import FACSConfig

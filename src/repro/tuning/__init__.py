@@ -1,0 +1,51 @@
+"""repro.tuning — automated rule-base tuning over controller definitions.
+
+Searches the design space of the paper's fuzzy controllers: a
+:class:`SearchSpace` names tunable membership break points and rule
+weights inside a declarative :class:`~repro.fuzzy.definition.FLCDefinition`,
+a strategy (exhaustive :class:`GridStrategy` or seeded
+:class:`EvolutionaryStrategy`) proposes candidate value vectors, and the
+engine scores each candidate by running the paper's acceptance sweep with
+the candidate controller and extracting a registered comparison metric.
+Generations fan over the shared sweep executor pool; results are
+byte-identical at any worker count.
+
+Quickstart::
+
+    from repro.cac.facs.definitions import flc1_definition
+    from repro.tuning import ParameterSpec, SearchSpace, run_tuning
+
+    space = SearchSpace((
+        ParameterSpec("mf.S.M.1", low=20.0, high=40.0),
+        ParameterSpec("weight.12", choices=(0.5, 1.0)),
+    ))
+    report = run_tuning(flc1_definition(), space, strategy="evolutionary")
+    print(report.best.score, report.best.values)
+
+or, declaratively, the ``tuning`` scenario kind / ``repro tune`` CLI.
+"""
+
+from .space import ParameterSpec, SearchSpace, TuningError
+from .strategies import (
+    STRATEGIES,
+    EvolutionaryStrategy,
+    GridStrategy,
+    SearchStrategy,
+    strategy_by_name,
+)
+from .engine import TrialResult, TuningReport, render_tuning_report, run_tuning
+
+__all__ = [
+    "TuningError",
+    "ParameterSpec",
+    "SearchSpace",
+    "STRATEGIES",
+    "SearchStrategy",
+    "GridStrategy",
+    "EvolutionaryStrategy",
+    "strategy_by_name",
+    "TrialResult",
+    "TuningReport",
+    "run_tuning",
+    "render_tuning_report",
+]

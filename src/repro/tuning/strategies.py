@@ -1,0 +1,190 @@
+"""Candidate-generation strategies for the tuning subsystem.
+
+Both strategies speak the same ask/tell protocol the tuning engine drives:
+``ask()`` returns the next batch of candidate value vectors (one batch =
+one generation), the engine evaluates the whole batch — possibly fanned
+over a worker pool — and feeds the scores back through ``tell()``.  All
+randomness comes from one ``numpy`` generator seeded at construction and
+advanced only inside ``ask``/``tell``, and ``tell`` always receives the
+batch in submission order, so a search trajectory is a pure function of
+(space, seed, batch results) — byte-identical no matter how many workers
+evaluated each batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from ..registry import Registry
+from .space import SearchSpace, TuningError
+
+__all__ = [
+    "STRATEGIES",
+    "SearchStrategy",
+    "GridStrategy",
+    "EvolutionaryStrategy",
+    "strategy_by_name",
+]
+
+#: Registered strategy constructors, keyed by the name scenarios use.
+STRATEGIES: Registry[type] = Registry("tuning strategy")
+
+
+class SearchStrategy:
+    """Ask/tell interface both concrete strategies implement."""
+
+    def ask(self) -> list[tuple[float, ...]]:
+        """Next batch of candidate value vectors ([] when exhausted)."""
+        raise NotImplementedError
+
+    def tell(self, scores: Sequence[float | None]) -> None:
+        """Feed back the scores of the last batch, in submission order.
+
+        ``None`` marks an infeasible candidate (its definition failed
+        validation); strategies treat those as worst-possible.
+        """
+        raise NotImplementedError
+
+
+@STRATEGIES.register("grid")
+class GridStrategy(SearchStrategy):
+    """Exhaustive cartesian product of every spec's discrete values.
+
+    Deterministic by construction: the product is enumerated in spec
+    declaration order, batched into fixed-size generations.
+    """
+
+    def __init__(self, space: SearchSpace, batch_size: int = 16, **_: object):
+        if batch_size < 1:
+            raise TuningError(f"batch_size must be >= 1, got {batch_size}")
+        self._product = itertools.product(
+            *(spec.grid_values() for spec in space.specs)
+        )
+        self._batch_size = batch_size
+
+    def ask(self) -> list[tuple[float, ...]]:
+        return [
+            tuple(values)
+            for values in itertools.islice(self._product, self._batch_size)
+        ]
+
+    def tell(self, scores: Sequence[float | None]) -> None:
+        pass  # exhaustive enumeration ignores feedback
+
+
+@STRATEGIES.register("evolutionary")
+class EvolutionaryStrategy(SearchStrategy):
+    """Seeded (mu + lambda)-style evolutionary search.
+
+    Generation 0 samples ``population`` uniform vectors inside each spec's
+    bounds (choice specs sample from their choice list).  Every later
+    generation keeps the ``elite`` best-so-far vectors as parents and fills
+    the batch with mutated offspring: gaussian perturbation (sigma =
+    ``mutation_scale`` x the bound width) clipped back into bounds for
+    bounded specs, a re-draw with probability ``mutation_scale`` for choice
+    specs.  Ties between equal scores break on submission order, so the
+    whole trajectory is deterministic for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        population: int = 10,
+        generations: int = 5,
+        elite: int = 2,
+        mutation_scale: float = 0.15,
+        **_: object,
+    ):
+        if population < 1:
+            raise TuningError(f"population must be >= 1, got {population}")
+        if generations < 1:
+            raise TuningError(f"generations must be >= 1, got {generations}")
+        if not 1 <= elite <= population:
+            raise TuningError(
+                f"elite must lie in [1, population={population}], got {elite}"
+            )
+        if not 0.0 < mutation_scale <= 1.0:
+            raise TuningError(
+                f"mutation_scale must lie in (0, 1], got {mutation_scale}"
+            )
+        self._space = space
+        self._rng = np.random.default_rng(seed)
+        self._population = population
+        self._generations_left = generations
+        self._elite = elite
+        self._mutation_scale = mutation_scale
+        #: (score, submission index, vector) of every candidate told so far.
+        self._history: list[tuple[float, int, tuple[float, ...]]] = []
+        self._submitted = 0
+        self._pending: list[tuple[float, ...]] | None = None
+
+    # -- protocol --------------------------------------------------------
+
+    def ask(self) -> list[tuple[float, ...]]:
+        if self._pending is not None:
+            raise TuningError("ask() called twice without tell()")
+        if self._generations_left == 0:
+            return []
+        self._generations_left -= 1
+        if self._history:
+            batch = [self._offspring() for _ in range(self._population)]
+        else:
+            batch = [self._random_vector() for _ in range(self._population)]
+        self._pending = batch
+        return list(batch)
+
+    def tell(self, scores: Sequence[float | None]) -> None:
+        if self._pending is None:
+            raise TuningError("tell() called without a pending ask()")
+        if len(scores) != len(self._pending):
+            raise TuningError(
+                f"got {len(scores)} scores for {len(self._pending)} candidates"
+            )
+        for vector, score in zip(self._pending, scores):
+            effective = -np.inf if score is None else float(score)
+            self._history.append((effective, self._submitted, vector))
+            self._submitted += 1
+        self._pending = None
+
+    # -- internals -------------------------------------------------------
+
+    def _parents(self) -> list[tuple[float, ...]]:
+        ranked = sorted(self._history, key=lambda item: (-item[0], item[1]))
+        return [vector for _, _, vector in ranked[: self._elite]]
+
+    def _random_vector(self) -> tuple[float, ...]:
+        values = []
+        for spec in self._space.specs:
+            if spec.choices is not None:
+                values.append(
+                    float(spec.choices[self._rng.integers(len(spec.choices))])
+                )
+            else:
+                low, high = spec.bounds()
+                values.append(float(self._rng.uniform(low, high)))
+        return tuple(values)
+
+    def _offspring(self) -> tuple[float, ...]:
+        parents = self._parents()
+        parent = parents[self._rng.integers(len(parents))]
+        values = []
+        for spec, value in zip(self._space.specs, parent):
+            if spec.choices is not None:
+                if self._rng.uniform() < self._mutation_scale:
+                    value = float(spec.choices[self._rng.integers(len(spec.choices))])
+                values.append(float(value))
+            else:
+                low, high = spec.bounds()
+                sigma = self._mutation_scale * (high - low)
+                mutated = value + self._rng.normal(0.0, sigma)
+                values.append(float(min(max(mutated, low), high)))
+        return tuple(values)
+
+
+def strategy_by_name(name: str, space: SearchSpace, **options) -> SearchStrategy:
+    """Construct a registered strategy (``"grid"``, ``"evolutionary"``)."""
+    return STRATEGIES.get(name)(space, **options)

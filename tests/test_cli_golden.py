@@ -26,6 +26,7 @@ from repro.api import (
 from repro.cli import main
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
+REPO_ROOT = Path(__file__).resolve().parents[1]
 EXAMPLE_CAMPAIGN = (
     Path(__file__).parents[1] / "examples" / "campaigns" / "fig7-fig10-study.json"
 )
@@ -228,10 +229,15 @@ class TestListJson:
         assert abl["bench_only"] is True
         assert "FACS" in payload["controllers"]
         assert "serial" in payload["executors"]
-        assert {"trace-arrivals", "network-sweep-sharded"} <= set(
+        assert {"trace-arrivals", "network-sweep-sharded", "tuning"} <= set(
             payload["scenario_kinds"]
         )
         assert "mean_acceptance" in payload["comparison_metrics"]
+        assert payload["tuning_strategies"] == ["grid", "evolutionary"]
+        definitions = payload["controller_definitions"]
+        assert definitions["suffix"] == ".json"
+        for export in definitions["builtin_exports"]:
+            assert (REPO_ROOT / export).is_file()
         assert any(
             engine["name"] == "compiled" and engine["cli"]
             for engine in payload["engines"]

@@ -1,0 +1,138 @@
+"""Strategy determinism and the ask/tell protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tuning import (
+    EvolutionaryStrategy,
+    GridStrategy,
+    ParameterSpec,
+    SearchSpace,
+    TuningError,
+    strategy_by_name,
+)
+
+SPACE = SearchSpace((
+    ParameterSpec("mf.S.M.1", low=20.0, high=40.0, steps=3),
+    ParameterSpec("weight.1", choices=(0.5, 1.0)),
+))
+
+
+def drain(strategy, score=lambda values: sum(values)):
+    """Run the full ask/tell loop and return every proposed vector."""
+    seen = []
+    while True:
+        batch = strategy.ask()
+        if not batch:
+            return seen
+        seen.extend(batch)
+        strategy.tell([score(values) for values in batch])
+
+
+class TestGridStrategy:
+    def test_enumerates_the_full_cartesian_product_in_order(self):
+        vectors = drain(GridStrategy(SPACE, batch_size=4))
+        assert len(vectors) == 6
+        assert vectors[0] == (20.0, 0.5)
+        assert vectors[1] == (20.0, 1.0)
+        assert vectors[-1] == (40.0, 1.0)
+        assert len(set(vectors)) == 6
+
+    def test_batch_size_splits_the_enumeration(self):
+        strategy = GridStrategy(SPACE, batch_size=4)
+        first = strategy.ask()
+        strategy.tell([0.0] * len(first))
+        second = strategy.ask()
+        assert (len(first), len(second)) == (4, 2)
+
+    def test_rejects_non_positive_batch_size(self):
+        with pytest.raises(TuningError, match="batch_size"):
+            GridStrategy(SPACE, batch_size=0)
+
+
+class TestEvolutionaryStrategy:
+    def test_same_seed_reproduces_the_whole_trajectory(self):
+        runs = [
+            drain(EvolutionaryStrategy(SPACE, seed=7, population=4, generations=3))
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_diverge(self):
+        a = drain(EvolutionaryStrategy(SPACE, seed=1, population=4, generations=3))
+        b = drain(EvolutionaryStrategy(SPACE, seed=2, population=4, generations=3))
+        assert a != b
+
+    def test_vectors_respect_bounds_and_choices(self):
+        for values in drain(
+            EvolutionaryStrategy(SPACE, seed=3, population=6, generations=4)
+        ):
+            assert 20.0 <= values[0] <= 40.0
+            assert values[1] in (0.5, 1.0)
+
+    def test_generation_count_bounds_the_trajectory(self):
+        vectors = drain(
+            EvolutionaryStrategy(SPACE, seed=5, population=3, generations=4)
+        )
+        assert len(vectors) == 12
+
+    def test_double_ask_is_a_protocol_error(self):
+        strategy = EvolutionaryStrategy(SPACE, seed=0)
+        strategy.ask()
+        with pytest.raises(TuningError, match="ask"):
+            strategy.ask()
+
+    def test_tell_without_ask_is_a_protocol_error(self):
+        with pytest.raises(TuningError, match="tell"):
+            EvolutionaryStrategy(SPACE, seed=0).tell([1.0])
+
+    def test_tell_length_mismatch_is_rejected(self):
+        strategy = EvolutionaryStrategy(SPACE, seed=0, population=4)
+        strategy.ask()
+        with pytest.raises(TuningError, match="scores"):
+            strategy.tell([1.0])
+
+    def test_none_scores_are_treated_as_worst(self):
+        strategy = EvolutionaryStrategy(
+            SPACE, seed=11, population=4, generations=2, elite=1
+        )
+        batch = strategy.ask()
+        # All infeasible except one: the sole feasible vector must parent
+        # every offspring of the next generation.
+        scores = [None] * len(batch)
+        scores[2] = 1.0
+        strategy.tell(scores)
+        assert strategy._parents() == [batch[2]]
+
+    def test_rejects_invalid_hyperparameters(self):
+        with pytest.raises(TuningError, match="population"):
+            EvolutionaryStrategy(SPACE, population=0)
+        with pytest.raises(TuningError, match="elite"):
+            EvolutionaryStrategy(SPACE, population=2, elite=3)
+        with pytest.raises(TuningError, match="mutation_scale"):
+            EvolutionaryStrategy(SPACE, mutation_scale=0.0)
+
+
+class TestStrategyByName:
+    def test_resolves_registered_names(self):
+        assert isinstance(strategy_by_name("grid", SPACE), GridStrategy)
+        assert isinstance(
+            strategy_by_name("evolutionary", SPACE, seed=1), EvolutionaryStrategy
+        )
+
+    def test_extra_options_are_ignored_by_the_other_strategy(self):
+        # The engine passes one option bundle to whichever strategy is named.
+        assert isinstance(
+            strategy_by_name("grid", SPACE, seed=4, population=9), GridStrategy
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_evolutionary_trajectories_are_pure_functions_of_the_seed(seed):
+    first = drain(EvolutionaryStrategy(SPACE, seed=seed, population=3, generations=3))
+    second = drain(EvolutionaryStrategy(SPACE, seed=seed, population=3, generations=3))
+    assert first == second
