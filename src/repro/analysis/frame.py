@@ -58,6 +58,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (simulation imports u
 __all__ = [
     "BATCH_KIND",
     "NETWORK_KIND",
+    "CLASS_COUNTER_FIELDS",
+    "class_column_names",
     "FrameGroup",
     "FrameReducer",
     "FrameRow",
@@ -91,6 +93,29 @@ ORDINAL_COLUMNS: tuple[str, ...] = ("curve", "point")
 #: internal column dict (a parameter may not shadow e.g. "controller").
 _PARAM_PREFIX = "param."
 
+#: Prefix of the optional per-service-class counter columns
+#: (``class.<service>.<counter>``), attached only by workload runs.
+_CLASS_PREFIX = "class."
+
+#: Per-class counters a workload run attaches, one float64 column per
+#: (service class, counter) pair; NaN marks rows without class counters.
+CLASS_COUNTER_FIELDS: tuple[str, ...] = (
+    "requested",
+    "accepted",
+    "blocked",
+    "dropped",
+    "completed",
+)
+
+
+def class_column_names(class_names: Sequence[str]) -> tuple[str, ...]:
+    """Column names of the per-class counters for ``class_names``."""
+    return tuple(
+        f"{_CLASS_PREFIX}{service}.{counter}"
+        for service in class_names
+        for counter in CLASS_COUNTER_FIELDS
+    )
+
 #: Derived per-row rate columns, computed lazily from the counters.
 _DERIVED = ("acceptance_percentage", "blocking_probability", "dropping_probability")
 _NETWORK_DERIVED = ("handoff_failure_ratio",)
@@ -115,6 +140,11 @@ class FrameRow(NamedTuple):
     counters: tuple[int, ...]
     network: tuple[int, int, int, int] | None
     occupancy: float | None
+    #: Service-class names of the per-class counters (empty for legacy
+    #: runs) and the counter values, flattened class-major over
+    #: :data:`CLASS_COUNTER_FIELDS`.
+    class_names: tuple[str, ...] = ()
+    class_values: tuple[float, ...] = ()
 
     @property
     def parameters(self) -> dict[str, float]:
@@ -123,7 +153,11 @@ class FrameRow(NamedTuple):
 
 
 def run_result_row(
-    result: "RunResult", label: str | None = None, replication: int = 0
+    result: "RunResult",
+    label: str | None = None,
+    replication: int = 0,
+    class_names: tuple[str, ...] = (),
+    class_values: tuple[float, ...] = (),
 ) -> FrameRow:
     """Counter row of one single-cell :class:`~repro.simulation.results.RunResult`.
 
@@ -132,7 +166,8 @@ def run_result_row(
     coerces to the fixed column dtypes anyway.
     """
     # tuple.__new__ skips the NamedTuple keyword wrapper: this runs once
-    # per replication and the wrapper is measurable at sweep scale.
+    # per replication and the wrapper is measurable at sweep scale.  It
+    # also skips field defaults, so the class fields are spelled out.
     return tuple.__new__(
         FrameRow,
         (
@@ -145,6 +180,8 @@ def run_result_row(
             result.metrics.as_counters(),
             None,
             None,
+            class_names,
+            class_values,
         ),
     )
 
@@ -171,6 +208,8 @@ def network_output_row(
                 output.dropped_calls,
             ),
             output.time_average_occupancy_bu,
+            output.class_names,
+            output.class_values,
         ),
     )
 
@@ -213,6 +252,29 @@ class FrameGroup:
     mean_handoff_failure_ratio: float | None = None
     mean_handoff_attempts: float | None = None
     mean_occupancy_bu: float | None = None
+    #: Per-service-class counter totals over the group's rows
+    #: (``"<service>.<counter>"`` -> sum, NaN rows skipped), or ``None``
+    #: when the frame carries no class columns.
+    class_totals: Mapping[str, float] | None = None
+
+    def class_blocking_probability(self, service: str) -> float:
+        """Per-class new-call blocking (ratio of group sums)."""
+        totals = self._class_totals_for(service)
+        requested = totals[f"{service}.requested"]
+        return totals[f"{service}.blocked"] / requested if requested else 0.0
+
+    def class_dropping_probability(self, service: str) -> float:
+        """Per-class dropping of admitted calls (ratio of group sums)."""
+        totals = self._class_totals_for(service)
+        accepted = totals[f"{service}.accepted"]
+        return totals[f"{service}.dropped"] / accepted if accepted else 0.0
+
+    def _class_totals_for(self, service: str) -> Mapping[str, float]:
+        if self.class_totals is None or f"{service}.requested" not in self.class_totals:
+            raise KeyError(
+                f"group has no per-class counters for service {service!r}"
+            )
+        return self.class_totals
 
     def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
         """Normal-theory CI of the mean acceptance percentage."""
@@ -265,7 +327,14 @@ class MetricsFrame:
     for every executor backend and worker count.
     """
 
-    __slots__ = ("kind", "label_vocab", "controller_vocab", "param_names", "_columns")
+    __slots__ = (
+        "kind",
+        "label_vocab",
+        "controller_vocab",
+        "param_names",
+        "class_names",
+        "_columns",
+    )
 
     def __init__(
         self,
@@ -274,6 +343,7 @@ class MetricsFrame:
         label_vocab: Sequence[str],
         controller_vocab: Sequence[str],
         param_names: Sequence[str],
+        class_names: Sequence[str] = (),
     ):
         if kind not in (BATCH_KIND, NETWORK_KIND):
             raise ValueError(f"unknown frame kind {kind!r}")
@@ -284,7 +354,8 @@ class MetricsFrame:
         self.label_vocab = tuple(sys.intern(str(v)) for v in label_vocab)
         self.controller_vocab = tuple(sys.intern(str(v)) for v in controller_vocab)
         self.param_names = tuple(sys.intern(str(v)) for v in param_names)
-        spec = self._column_spec(self.kind, self.param_names)
+        self.class_names = tuple(sys.intern(str(v)) for v in class_names)
+        spec = self._column_spec(self.kind, self.param_names, self.class_names)
         missing = [name for name in spec if name not in columns]
         extra = sorted(set(columns) - set(spec) - set(ORDINAL_COLUMNS))
         if missing or extra:
@@ -311,7 +382,11 @@ class MetricsFrame:
     # ------------------------------------------------------------------
     @staticmethod
     @lru_cache(maxsize=128)
-    def _column_spec(kind: str, param_names: tuple[str, ...]) -> dict[str, type]:
+    def _column_spec(
+        kind: str,
+        param_names: tuple[str, ...],
+        class_names: tuple[str, ...] = (),
+    ) -> dict[str, type]:
         spec: dict[str, type] = {
             "label": np.int32,
             "controller": np.int32,
@@ -326,6 +401,8 @@ class MetricsFrame:
             spec[OCCUPANCY_COLUMN] = np.float64
         for name in param_names:
             spec[_PARAM_PREFIX + name] = np.float64
+        for name in class_column_names(class_names):
+            spec[name] = np.float64
         return spec
 
     # ------------------------------------------------------------------
@@ -340,6 +417,7 @@ class MetricsFrame:
             or self.label_vocab != other.label_vocab
             or self.controller_vocab != other.controller_vocab
             or self.param_names != other.param_names
+            or self.class_names != other.class_names
             or set(self._columns) != set(other._columns)
         ):
             return False
@@ -421,6 +499,8 @@ class MetricsFrame:
             counter_tuples,
             network_tuples,
             occupancies,
+            class_name_tuples,
+            class_value_tuples,
         ) = zip(*rows)
 
         label_vocab: dict[str, int] = {}
@@ -458,12 +538,16 @@ class MetricsFrame:
                 f"with kind={NETWORK_KIND!r}"
             )
         param_names = cls._fill_param_columns(name_tuples, value_tuples, n, columns)
+        class_names = cls._fill_class_columns(
+            class_name_tuples, class_value_tuples, n, columns
+        )
         return cls(
             kind,
             columns,
             tuple(label_vocab),
             tuple(controller_vocab),
             param_names,
+            class_names,
         )
 
     @staticmethod
@@ -513,6 +597,46 @@ class MetricsFrame:
         for name, values in filled.items():
             columns[_PARAM_PREFIX + name] = values
         return tuple(param_names)
+
+    @staticmethod
+    def _fill_class_columns(
+        name_tuples: Sequence[tuple[str, ...]],
+        value_tuples: Sequence[tuple[float, ...]],
+        n: int,
+        columns: dict[str, np.ndarray],
+    ) -> tuple[str, ...]:
+        """Add the per-class counter columns to ``columns``.
+
+        Mirrors :meth:`_fill_param_columns`: the all-rows-identical case
+        (including the all-legacy ``()`` case, which adds nothing)
+        converts as one 2-D array; mixed frames NaN-fill per row.
+        """
+        distinct = set(name_tuples)
+        if len(distinct) == 1:
+            class_names = name_tuples[0]
+            if class_names:
+                column_names = class_column_names(class_names)
+                values = np.fromiter(
+                    itertools.chain.from_iterable(value_tuples),
+                    dtype=np.float64,
+                    count=n * len(column_names),
+                ).reshape(n, len(column_names))
+                for offset, name in enumerate(column_names):
+                    columns[name] = values[:, offset]
+            return class_names
+        class_names_union: dict[str, None] = {}
+        for names in name_tuples:
+            for name in names:
+                class_names_union.setdefault(name, None)
+        filled = {
+            name: np.full(n, np.nan, dtype=np.float64)
+            for name in class_column_names(tuple(class_names_union))
+        }
+        for i, (names, values) in enumerate(zip(name_tuples, value_tuples)):
+            for name, value in zip(class_column_names(names), values):
+                filled[name][i] = value
+        columns.update(filled)
+        return tuple(class_names_union)
 
     @classmethod
     def from_run_results(
@@ -576,6 +700,7 @@ class MetricsFrame:
         label_vocab: dict[str, int] = {}
         controller_vocab: dict[str, int] = {}
         param_names: dict[str, None] = {}
+        class_names: dict[str, None] = {}
         for frame in frames:
             for value in frame.label_vocab:
                 label_vocab.setdefault(value, len(label_vocab))
@@ -583,6 +708,8 @@ class MetricsFrame:
                 controller_vocab.setdefault(value, len(controller_vocab))
             for name in frame.param_names:
                 param_names.setdefault(name, None)
+            for name in frame.class_names:
+                class_names.setdefault(name, None)
 
         def remapped(frame: "MetricsFrame", column: str, vocab: dict[str, int],
                      source: tuple[str, ...]) -> np.ndarray:
@@ -591,7 +718,7 @@ class MetricsFrame:
             return remap[codes] if len(remap) else codes
 
         columns: dict[str, np.ndarray] = {}
-        spec = cls._column_spec(kind, tuple(param_names))
+        spec = cls._column_spec(kind, tuple(param_names), tuple(class_names))
         names = list(spec) + (list(ORDINAL_COLUMNS) if frames[0].has_ordinals else [])
         for name in names:
             parts = []
@@ -604,11 +731,16 @@ class MetricsFrame:
                     )
                 elif name in frame._columns:
                     parts.append(frame._columns[name])
-                else:  # parameter column absent in this frame
+                else:  # parameter/class column absent in this frame
                     parts.append(np.full(len(frame), np.nan, dtype=np.float64))
             columns[name] = np.concatenate(parts) if parts else np.array([])
         return cls(
-            kind, columns, tuple(label_vocab), tuple(controller_vocab), tuple(param_names)
+            kind,
+            columns,
+            tuple(label_vocab),
+            tuple(controller_vocab),
+            tuple(param_names),
+            tuple(class_names),
         )
 
     def with_ordinals(
@@ -624,7 +756,12 @@ class MetricsFrame:
         columns["curve"] = np.asarray(curve, dtype=np.int64)
         columns["point"] = np.asarray(point, dtype=np.int64)
         return MetricsFrame(
-            self.kind, columns, self.label_vocab, self.controller_vocab, self.param_names
+            self.kind,
+            columns,
+            self.label_vocab,
+            self.controller_vocab,
+            self.param_names,
+            self.class_names,
         )
 
     # ------------------------------------------------------------------
@@ -738,6 +875,10 @@ class MetricsFrame:
             handoff_failure = self.derived_column("handoff_failure_ratio")
             handoff_attempts = self._columns["handoff_attempts"]
             occupancy = self._columns[OCCUPANCY_COLUMN]
+        class_columns = {
+            name[len(_CLASS_PREFIX):]: self._columns[name]
+            for name in class_column_names(self.class_names)
+        }
 
         controller_codes = self._columns["controller"]
         groups: list[FrameGroup] = []
@@ -771,6 +912,14 @@ class MetricsFrame:
                 mean_occupancy_bu=(
                     series_mean(occupancy[indices].tolist()) if network else None
                 ),
+                class_totals=(
+                    {
+                        name: float(np.nansum(column[indices]))
+                        for name, column in class_columns.items()
+                    }
+                    if class_columns
+                    else None
+                ),
             )
             groups.append(group)
         return groups
@@ -800,6 +949,16 @@ class MetricsFrame:
             raise ValueError("batch-kind frames hold no network rows")
         from ..simulation.engine import NetworkRunOutput
 
+        class_names: tuple[str, ...] = ()
+        class_values: tuple[float, ...] = ()
+        if self.class_names:
+            values = tuple(
+                float(self._columns[name][row])
+                for name in class_column_names(self.class_names)
+            )
+            if not any(value != value for value in values):  # no NaN slots
+                class_names = self.class_names
+                class_values = values
         return NetworkRunOutput(
             result=self.run_result(row),
             handoff_attempts=int(self._columns["handoff_attempts"][row]),
@@ -807,6 +966,8 @@ class MetricsFrame:
             completed_calls=int(self._columns["completed_calls"][row]),
             dropped_calls=int(self._columns["dropped_calls"][row]),
             time_average_occupancy_bu=float(self._columns[OCCUPANCY_COLUMN][row]),
+            class_names=class_names,
+            class_values=class_values,
         )
 
     def network_outputs(self) -> list["NetworkRunOutput"]:
@@ -823,6 +984,7 @@ class MetricsFrame:
             "label_vocab": list(self.label_vocab),
             "controller_vocab": list(self.controller_vocab),
             "param_names": list(self.param_names),
+            "class_names": list(self.class_names),
             "columns": [
                 [name, array.dtype.str] for name, array in self._columns.items()
             ],
@@ -849,6 +1011,7 @@ class MetricsFrame:
             tuple(meta["label_vocab"]),
             tuple(meta["controller_vocab"]),
             tuple(meta["param_names"]),
+            tuple(meta.get("class_names", ())),
         )
 
     def to_bytes(self) -> tuple[dict[str, Any], bytes]:

@@ -30,12 +30,18 @@ Versioning policy
   provenance key inside network-sweep ``RunReport`` metrics.  All
   additive — old payloads simply lack the kind and the keys — so the
   v2→v3 migration is the identity.
-* **v4** — current.  Adds the ``flc-definition`` payload (declarative
+* **v4** — Adds the ``flc-definition`` payload (declarative
   fuzzy-controller definitions, :mod:`repro.fuzzy.definition`), the
   ``tuning`` scenario kind and its ``tuning`` ``RunReport`` metrics
   payload (:mod:`repro.tuning`).  All additive — old payloads simply
   lack the kind and the codecs — so the v3→v4 migration is the
   identity.
+* **v5** — current.  Adds the ``workload`` payload (arrival-process
+  models and service classes, :mod:`repro.workloads`), the optional
+  ``workload`` field on scenario payloads, and the optional
+  ``class_names``/``class.*`` per-class counter columns inside
+  ``metrics-frame`` payloads.  All additive — old payloads simply lack
+  the field and the columns — so the v4→v5 migration is the identity.
 * Future breaking field changes must bump :data:`SCHEMA_VERSION` and add a
   migration step to :data:`_MIGRATIONS`; decoding a payload newer than the
   running build always fails loudly rather than guessing.
@@ -46,7 +52,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 import numpy as np
 
@@ -60,6 +66,9 @@ from ..simulation.sweep import (
     SweepResult,
 )
 from .frame import MetricsFrame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..workloads.spec import WorkloadSpec
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -81,6 +90,11 @@ __all__ = [
     "flc_definition_to_json",
     "write_flc_definition_json",
     "read_flc_definition_json",
+    "workload_to_dict",
+    "workload_from_dict",
+    "workload_to_json",
+    "write_workload_json",
+    "read_workload_json",
     "write_result_json",
     "read_result_json",
 ]
@@ -89,7 +103,7 @@ __all__ = [
 # Payload schema versioning
 # ----------------------------------------------------------------------
 #: Version stamped into every newly serialized API payload.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 class PayloadVersionError(ValueError):
@@ -139,12 +153,25 @@ def _migrate_v3_to_v4(payload: dict[str, Any]) -> dict[str, Any]:
     return payload
 
 
+def _migrate_v4_to_v5(payload: dict[str, Any]) -> dict[str, Any]:
+    """v4 → v5: the identity — v5 only *added* fields.
+
+    New in v5: the ``workload`` codec (:mod:`repro.workloads`), the
+    optional ``workload`` field on scenario payloads, and the optional
+    per-class counter columns (``class_names`` plus ``class.*`` columns)
+    inside ``metrics-frame`` payloads.  Old payloads simply lack them,
+    and every decoder treats them as optional.
+    """
+    return payload
+
+
 #: Migration steps: version ``n`` → the function upgrading ``n`` to ``n+1``.
 _MIGRATIONS: dict[int, Callable[[dict[str, Any]], dict[str, Any]]] = {
     0: _migrate_v0_to_v1,
     1: _migrate_v1_to_v2,
     2: _migrate_v2_to_v3,
     3: _migrate_v3_to_v4,
+    4: _migrate_v4_to_v5,
 }
 
 
@@ -430,18 +457,21 @@ def metrics_frame_to_dict(frame: MetricsFrame) -> dict:
             ]
         else:
             columns[name] = array.tolist()
-    return versioned_payload(
-        {
-            "type": _FRAME_TYPE,
-            "kind": meta["kind"],
-            "rows": meta["rows"],
-            "label_vocab": meta["label_vocab"],
-            "controller_vocab": meta["controller_vocab"],
-            "param_names": meta["param_names"],
-            "dtypes": {name: dtype for name, dtype in meta["columns"]},
-            "columns": columns,
-        }
-    )
+    payload = {
+        "type": _FRAME_TYPE,
+        "kind": meta["kind"],
+        "rows": meta["rows"],
+        "label_vocab": meta["label_vocab"],
+        "controller_vocab": meta["controller_vocab"],
+        "param_names": meta["param_names"],
+        "dtypes": {name: dtype for name, dtype in meta["columns"]},
+        "columns": columns,
+    }
+    # Emitted only for workload frames, so legacy payloads stay
+    # byte-identical to their pre-v5 form.
+    if meta["class_names"]:
+        payload["class_names"] = meta["class_names"]
+    return versioned_payload(payload)
 
 
 def metrics_frame_from_dict(payload: Mapping[str, Any]) -> MetricsFrame:
@@ -464,6 +494,7 @@ def metrics_frame_from_dict(payload: Mapping[str, Any]) -> MetricsFrame:
         tuple(data["label_vocab"]),
         tuple(data["controller_vocab"]),
         tuple(data["param_names"]),
+        tuple(data.get("class_names", ())),
     )
 
 
@@ -521,6 +552,63 @@ def read_flc_definition_json(path: str | Path) -> FLCDefinition:
         return flc_definition_from_dict(payload)
     except (ValueError, PayloadVersionError) as exc:
         raise DefinitionError(f"controller definition {path}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Workload codec (lossless, schema-versioned)
+# ----------------------------------------------------------------------
+_WORKLOAD_TYPE = "workload"
+
+
+def workload_to_dict(spec: "WorkloadSpec") -> dict:
+    """Lossless, schema-versioned dict form of a :class:`WorkloadSpec`."""
+    return versioned_payload({"type": _WORKLOAD_TYPE, **spec.to_dict()})
+
+
+def workload_from_dict(payload: Mapping[str, Any]) -> "WorkloadSpec":
+    """Rebuild a workload written by :func:`workload_to_dict`."""
+    from ..workloads.spec import WorkloadSpec
+
+    data = migrate_payload(payload, "workload")
+    if data.pop("type", None) != _WORKLOAD_TYPE:
+        raise ValueError(
+            f"expected a {_WORKLOAD_TYPE!r} payload, "
+            f"got type={payload.get('type')!r}"
+        )
+    return WorkloadSpec.from_dict(data)
+
+
+def workload_to_json(spec: "WorkloadSpec") -> str:
+    """Canonical JSON text of a workload (byte-stable for a fixed input)."""
+    return json.dumps(workload_to_dict(spec), indent=2) + "\n"
+
+
+def write_workload_json(spec: "WorkloadSpec", path: str | Path) -> Path:
+    """Write a workload definition to a JSON file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(workload_to_json(spec))
+    return target
+
+
+def read_workload_json(path: str | Path) -> "WorkloadSpec":
+    """Read a workload previously written by :func:`write_workload_json`."""
+    from ..workloads.spec import WorkloadError
+
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise WorkloadError(f"cannot read workload {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"workload {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, Mapping):
+        raise WorkloadError(
+            f"workload {path} must hold a JSON object, got {type(payload).__name__}"
+        )
+    try:
+        return workload_from_dict(payload)
+    except (ValueError, PayloadVersionError) as exc:
+        raise WorkloadError(f"workload {path}: {exc}") from exc
 
 
 def write_result_json(result: SweepResult | NetworkSweepResult, path: str | Path) -> Path:

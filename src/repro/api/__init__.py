@@ -54,6 +54,15 @@ from ..analysis.io import (
 from ..fuzzy.controller import ENGINES, EngineSpec
 from ..registry import Registry, RegistryError
 from ..simulation.executor import EXECUTORS
+from ..workloads import (
+    DEFAULT_SERVICE_CLASSES,
+    WORKLOADS,
+    ServiceClassDef,
+    WorkloadError,
+    WorkloadSpec,
+    register_workload,
+    resolve_workload,
+)
 from .campaign import (
     Campaign,
     CampaignError,
@@ -172,4 +181,12 @@ __all__ = [
     "scenario_ids",
     "DEFAULT_NETWORK_CONTROLLERS",
     "BENCH_ONLY_EXPERIMENTS",
+    # workloads
+    "WORKLOADS",
+    "WorkloadSpec",
+    "WorkloadError",
+    "ServiceClassDef",
+    "DEFAULT_SERVICE_CLASSES",
+    "register_workload",
+    "resolve_workload",
 ]

@@ -23,9 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from ..cac.adaptive_threshold import AdaptiveThresholdController
 from ..cac.complete_sharing import CompleteSharingController
 from ..cac.facs.system import FACSConfig
 from ..cac.guard_channel import GuardChannelController
+from ..cac.mpc_lookahead import MPCLookaheadController
 from ..cac.threshold_policy import ThresholdPolicyController
 from ..experiments.ablations import (
     baseline_ablation,
@@ -178,6 +180,16 @@ def _guard_channel_controller(engine: str = "compiled") -> ControllerFactory:
 @register_controller("Threshold")
 def _threshold_controller(engine: str = "compiled") -> ControllerFactory:
     return ThresholdPolicyController
+
+
+@register_controller("AdaptiveThreshold")
+def _adaptive_threshold_controller(engine: str = "compiled") -> ControllerFactory:
+    return AdaptiveThresholdController
+
+
+@register_controller("MPCLookahead")
+def _mpc_lookahead_controller(engine: str = "compiled") -> ControllerFactory:
+    return MPCLookaheadController
 
 
 # ----------------------------------------------------------------------

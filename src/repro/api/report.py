@@ -122,6 +122,84 @@ def _mean_handoff_failure(metrics: Mapping[str, Any]) -> dict[str, float] | None
     return _network_quality(metrics, "handoff_failure_ratio", "handoff_failure_ratio")
 
 
+def _class_ratio(
+    metrics: Mapping[str, Any],
+    service: str,
+    numerator: str,
+    denominator: str,
+) -> dict[str, float] | None:
+    """Per-curve ratio-of-sums of two per-class counters.
+
+    Reads the ``class.<service>.<counter>`` columns straight from the
+    report's embedded frame payload, pooling rows by curve label —
+    the exact ratio of totals, not a mean of per-run ratios.  Returns
+    ``None`` when the report's workload carries no class counters (the
+    legacy Poisson members), so mixed campaigns render ``-`` for them
+    instead of dropping the scenario.
+    """
+    frame = metrics.get("frame")
+    if not isinstance(frame, Mapping):
+        return None
+    if service not in (frame.get("class_names") or ()):
+        return None
+    columns = frame.get("columns") or {}
+    numerators = columns.get(f"class.{service}.{numerator}")
+    denominators = columns.get(f"class.{service}.{denominator}")
+    label_codes = columns.get("label")
+    vocab = frame.get("label_vocab")
+    if numerators is None or denominators is None or label_codes is None:
+        return None
+    totals: dict[str, list[float]] = {}
+    for code, num, den in zip(label_codes, numerators, denominators):
+        if num is None or den is None:
+            # NaN slots mark legacy rows concatenated into a workload frame.
+            continue
+        label = vocab[code]
+        bucket = totals.setdefault(label, [0.0, 0.0])
+        bucket[0] += num
+        bucket[1] += den
+    if not totals:
+        return None
+    return {
+        label: (num / den if den > 0 else 0.0)
+        for label, (num, den) in totals.items()
+    }
+
+
+def _register_class_metrics() -> None:
+    """Register ``<service>_blocking``/``<service>_dropping`` extractors.
+
+    One pair per preset service class (voice/data/video): blocking is
+    blocked-over-requested, dropping is dropped-over-accepted, each a
+    ratio of pooled per-class totals.
+    """
+    for service in ("voice", "data", "video"):
+
+        def _blocking(
+            metrics: Mapping[str, Any], _service: str = service
+        ) -> dict[str, float] | None:
+            return _class_ratio(metrics, _service, "blocked", "requested")
+
+        def _dropping(
+            metrics: Mapping[str, Any], _service: str = service
+        ) -> dict[str, float] | None:
+            return _class_ratio(metrics, _service, "dropped", "accepted")
+
+        _blocking.__doc__ = (
+            f"Per-class new-call blocking probability of the {service!r} "
+            f"service (workload scenarios only)."
+        )
+        _dropping.__doc__ = (
+            f"Per-class dropping probability of the {service!r} service "
+            f"(workload scenarios only)."
+        )
+        COMPARISON_METRICS.register(f"{service}_blocking", _blocking)
+        COMPARISON_METRICS.register(f"{service}_dropping", _dropping)
+
+
+_register_class_metrics()
+
+
 @comparison_metric("p99_latency_ms")
 def _p99_latency_ms(metrics: Mapping[str, Any]) -> dict[str, float] | None:
     """p99 micro-batch decision latency (service scenarios only)."""

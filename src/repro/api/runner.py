@@ -51,6 +51,7 @@ from ..simulation.trace import TraceRunResult, run_trace_arrivals
 from ..service.replay import run_service_replay
 from ..service.server import ServiceConfig, ServiceReport, render_service_report
 from ..tuning.engine import render_tuning_report, run_tuning
+from ..workloads import resolve_workload
 from .registry import (
     ABLATIONS,
     ARTIFACTS,
@@ -343,6 +344,8 @@ def _run_figure_sweep(scenario: FigureSweepScenario) -> tuple[str, dict[str, Any
         kwargs["seed"] = scenario.seed
     if scenario.curve_values is not None:
         kwargs[definition.curve_kwarg] = scenario.curve_values
+    if scenario.workload is not None:
+        kwargs["workload"] = resolve_workload(scenario.workload)
     result = definition.reproduce(**kwargs)
     return definition.render(result), _sweep_metrics(result)
 
@@ -363,6 +366,7 @@ def _network_sweep_spec_for(scenario: NetworkSweepScenario):
         # Only the coupled-sharded scenario kind carries a per-cell
         # capacity map; the others keep the uniform default.
         cell_capacities=getattr(scenario, "cell_capacities", None),
+        workload=resolve_workload(scenario.workload),
     )
     return network_sweep_spec(
         arrival_rates=scenario.arrival_rates,
@@ -552,6 +556,7 @@ def _run_trace_arrivals(scenario: TraceArrivalsScenario) -> tuple[str, dict[str,
             distance_km=scenario.distance_km,
         ),
         seed=scenario.seed,
+        workload=resolve_workload(scenario.workload),
     )
     result = run_trace_arrivals(
         config,
@@ -617,6 +622,7 @@ def _run_service_replay(scenario: ServiceReplayScenario) -> tuple[str, dict[str,
             distance_km=scenario.distance_km,
         ),
         seed=scenario.seed,
+        workload=resolve_workload(scenario.workload),
     )
     report = run_service_replay(
         config,

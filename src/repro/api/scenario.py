@@ -32,6 +32,7 @@ from ..simulation.sweep import PAPER_NETWORK_ARRIVAL_RATES
 from ..fuzzy.definition import DefinitionError
 from ..tuning.space import ParameterSpec, SearchSpace, TuningError
 from ..tuning.strategies import STRATEGIES
+from ..workloads import WORKLOADS
 from .report import COMPARISON_METRICS
 from .registry import (
     ABLATIONS,
@@ -147,6 +148,40 @@ def _check_controllers(controllers: tuple[str, ...]) -> None:
         )
 
 
+def _check_workload(workload: str | None) -> None:
+    if workload is None:
+        return
+    _require(
+        isinstance(workload, str) and bool(workload),
+        f"workload must be a registered name, a .json path or null, "
+        f"got {workload!r}",
+    )
+    if workload.endswith(".json"):
+        _require(
+            Path(workload).is_file(),
+            f"workload definition file not found: {workload!r}",
+        )
+        return
+    _require(
+        workload in WORKLOADS,
+        f"unknown workload {workload!r}; available: {list(WORKLOADS)} "
+        f"or a path to a workload-definition JSON file",
+    )
+
+
+def _normalize_workload(scenario: "Scenario") -> None:
+    """Validate ``scenario.workload`` and fold ``"poisson"`` to ``None``.
+
+    The registered ``"poisson"`` workload reproduces the legacy arrival
+    draws bit for bit, so the two spellings are one scenario identity —
+    normalising here keeps default payloads, report stems and overwrite
+    guards byte-identical to the pre-workload schema.
+    """
+    _check_workload(scenario.workload)
+    if scenario.workload == "poisson":
+        object.__setattr__(scenario, "workload", None)
+
+
 def _check_finite(value: float, what: str) -> None:
     _require(
         isinstance(value, (int, float)) and math.isfinite(value),
@@ -165,6 +200,12 @@ class Scenario:
     #: Discriminator stamped into every serialized payload.
     kind: ClassVar[str] = ""
 
+    #: Field names dropped from payloads while equal to ``None``.  Fields
+    #: added to existing kinds after their schema froze live here, so
+    #: default payloads stay byte-identical to the pre-extension schema
+    #: (``from_dict`` fills absent fields from the dataclass defaults).
+    _OMIT_WHEN_NONE: ClassVar[frozenset[str]] = frozenset()
+
     # ------------------------------------------------------------------
     @property
     def slug(self) -> str:
@@ -181,6 +222,8 @@ class Scenario:
         payload: dict[str, Any] = {"kind": self.kind}
         for spec in dataclasses.fields(self):
             value = getattr(self, spec.name)
+            if value is None and spec.name in self._OMIT_WHEN_NONE:
+                continue
             payload[spec.name] = list(value) if isinstance(value, tuple) else value
         return versioned_payload(payload)
 
@@ -301,6 +344,9 @@ class FigureSweepScenario(Scenario):
     fixed speeds, angles or distances); Fig. 10 compares FACS vs SCC and
     accepts no curve values.  ``seed`` of ``None`` keeps the figure's
     canonical seed so default scenarios reproduce the paper artifacts.
+    ``workload`` names a registered arrival-process workload (or a
+    workload-definition ``*.json``); ``None``/``"poisson"`` keeps the
+    paper's Poisson arrivals draw for draw.
     """
 
     figure: str
@@ -311,8 +357,12 @@ class FigureSweepScenario(Scenario):
     engine: str = "compiled"
     executor: str = "serial"
     workers: int | None = None
+    workload: str | None = None
+
+    _OMIT_WHEN_NONE: ClassVar[frozenset[str]] = frozenset({"workload"})
 
     def __post_init__(self) -> None:
+        _normalize_workload(self)
         object.__setattr__(self, "request_counts", tuple(self.request_counts))
         if self.curve_values is not None:
             object.__setattr__(self, "curve_values", tuple(self.curve_values))
@@ -355,7 +405,10 @@ class NetworkSweepScenario(Scenario):
     """The multi-cell QoS sweep: controllers × arrival rates × replications.
 
     Defaults mirror ``DEFAULT_NETWORK_BASE_CONFIG`` — the canonical 7-cell
-    topology of the Section 4 QoS claim.
+    topology of the Section 4 QoS claim.  ``workload`` names a registered
+    arrival-process workload (``mmpp``, ``flash-crowd``, …) or a
+    workload-definition ``*.json``; ``None``/``"poisson"`` keeps the
+    paper's Poisson arrivals draw for draw.
     """
 
     controllers: tuple[str, ...] = DEFAULT_NETWORK_CONTROLLERS
@@ -369,8 +422,12 @@ class NetworkSweepScenario(Scenario):
     engine: str = "compiled"
     executor: str = "serial"
     workers: int | None = None
+    workload: str | None = None
+
+    _OMIT_WHEN_NONE: ClassVar[frozenset[str]] = frozenset({"workload"})
 
     def __post_init__(self) -> None:
+        _normalize_workload(self)
         object.__setattr__(self, "controllers", tuple(self.controllers))
         object.__setattr__(self, "arrival_rates", tuple(self.arrival_rates))
         _check_controllers(self.controllers)
@@ -591,8 +648,12 @@ class TraceArrivalsScenario(Scenario):
     distance_km: float | None = None
     seed: int = 20070625
     engine: str = "compiled"
+    workload: str | None = None
+
+    _OMIT_WHEN_NONE: ClassVar[frozenset[str]] = frozenset({"workload"})
 
     def __post_init__(self) -> None:
+        _normalize_workload(self)
         _check_int(self.request_count, "request_count", 1)
         _check_int(self.batch_size, "batch_size", 1)
         _check_finite(self.arrival_window_s, "arrival_window_s")
@@ -642,8 +703,12 @@ class ServiceReplayScenario(Scenario):
     distance_km: float | None = None
     seed: int = 20070628
     engine: str = "compiled"
+    workload: str | None = None
+
+    _OMIT_WHEN_NONE: ClassVar[frozenset[str]] = frozenset({"workload"})
 
     def __post_init__(self) -> None:
+        _normalize_workload(self)
         _check_int(self.request_count, "request_count", 1)
         _check_finite(self.arrival_window_s, "arrival_window_s")
         _require(

@@ -1,0 +1,150 @@
+"""Adaptive-threshold admission control with QoS feedback.
+
+A dynamic variant of the guard-channel idea: instead of a fixed
+reservation, the controller maintains a floating new-call occupancy
+threshold driven by the handoff-failure rate it observes.  Failures are
+tracked with an exponentially forgotten average (recent evidence counts
+most); when the forgotten failure rate exceeds the target the reservation
+widens, and when handoffs sail through it decays back toward zero — so
+under calm load the controller behaves like complete sharing, and under
+bursty load (MMPP, flash crowds) it reserves aggressively, trading
+new-call blocking for the dropping probability users actually notice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cellular.calls import Call, CallType
+from ..cellular.cell import BaseStation
+from .base import AdmissionController, AdmissionDecision, DecisionOutcome
+
+__all__ = ["AdaptiveThresholdConfig", "AdaptiveThresholdController"]
+
+
+@dataclass(frozen=True)
+class AdaptiveThresholdConfig:
+    """Feedback parameters of the adaptive threshold."""
+
+    #: Exponential forgetting factor of the handoff-failure average: each
+    #: new observation contributes ``1 - forgetting``; older evidence
+    #: decays geometrically.
+    forgetting: float = 0.9
+    #: Handoff-failure rate the feedback loop steers toward.
+    target_failure_ratio: float = 0.02
+    #: Reservation step (BU) per unit of failure-rate error.
+    adapt_gain_bu: float = 25.0
+    #: Initial reservation (BU) before any feedback arrives.
+    initial_reserve_bu: float = 4.0
+    #: Largest fraction of capacity the reservation may claim.
+    max_reserve_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.forgetting < 1.0:
+            raise ValueError(f"forgetting must lie in (0, 1), got {self.forgetting}")
+        if not 0.0 <= self.target_failure_ratio < 1.0:
+            raise ValueError(
+                f"target_failure_ratio must lie in [0, 1), got {self.target_failure_ratio}"
+            )
+        if self.adapt_gain_bu <= 0:
+            raise ValueError(f"adapt_gain_bu must be positive, got {self.adapt_gain_bu}")
+        if self.initial_reserve_bu < 0:
+            raise ValueError(
+                f"initial_reserve_bu must be non-negative, got {self.initial_reserve_bu}"
+            )
+        if not 0.0 < self.max_reserve_fraction <= 1.0:
+            raise ValueError(
+                f"max_reserve_fraction must lie in (0, 1], got {self.max_reserve_fraction}"
+            )
+
+
+class AdaptiveThresholdController(AdmissionController):
+    """Guard a floating reservation sized by exponentially forgotten feedback."""
+
+    name = "AdaptiveThreshold"
+
+    def __init__(self, config: AdaptiveThresholdConfig | None = None):
+        self._config = config or AdaptiveThresholdConfig()
+        self.reset()
+
+    @property
+    def config(self) -> AdaptiveThresholdConfig:
+        return self._config
+
+    @property
+    def reserve_bu(self) -> float:
+        """Current reservation (BU) withheld from new calls."""
+        return self._reserve_bu
+
+    @property
+    def failure_ewma(self) -> float:
+        """Exponentially forgotten handoff-failure rate."""
+        return self._failure_ewma
+
+    def reset(self) -> None:
+        self._reserve_bu = self._config.initial_reserve_bu
+        self._failure_ewma = self._config.target_failure_ratio
+
+    def _observe_handoff(self, failed: bool, capacity_bu: int) -> None:
+        cfg = self._config
+        observation = 1.0 if failed else 0.0
+        self._failure_ewma = (
+            cfg.forgetting * self._failure_ewma + (1.0 - cfg.forgetting) * observation
+        )
+        error = self._failure_ewma - cfg.target_failure_ratio
+        ceiling = cfg.max_reserve_fraction * capacity_bu
+        self._reserve_bu = min(
+            max(self._reserve_bu + cfg.adapt_gain_bu * error * (1.0 - cfg.forgetting), 0.0),
+            ceiling,
+        )
+
+    def decide(self, call: Call, station: BaseStation, now: float) -> AdmissionDecision:
+        fits = station.can_fit(call.bandwidth_units)
+        if call.call_type is CallType.HANDOFF:
+            self._observe_handoff(failed=not fits, capacity_bu=station.capacity_bu)
+            reason = (
+                "handoff admitted into the reserved pool"
+                if fits
+                else (
+                    f"handoff dropped: need {call.bandwidth_units} BU, "
+                    f"{station.free_bu} BU free"
+                )
+            )
+            headroom = station.free_bu - call.bandwidth_units
+            return AdmissionDecision(
+                accepted=fits,
+                score=max(-1.0, min(1.0, headroom / station.capacity_bu)),
+                outcome=DecisionOutcome.ACCEPT if fits else DecisionOutcome.REJECT,
+                reason=reason,
+                diagnostics={
+                    "reserve_bu": self._reserve_bu,
+                    "failure_ewma": self._failure_ewma,
+                },
+            )
+        threshold = station.capacity_bu - self._reserve_bu
+        accepted = fits and (station.used_bu + call.bandwidth_units) <= threshold
+        if accepted:
+            reason = f"new call admitted below adaptive threshold {threshold:.1f} BU"
+        elif not fits:
+            reason = (
+                f"insufficient bandwidth: need {call.bandwidth_units} BU, "
+                f"{station.free_bu} BU free"
+            )
+        else:
+            reason = (
+                f"new call blocked: occupancy {station.used_bu} BU + "
+                f"{call.bandwidth_units} BU exceeds adaptive threshold "
+                f"{threshold:.1f} BU"
+            )
+        headroom = threshold - station.used_bu - call.bandwidth_units
+        return AdmissionDecision(
+            accepted=accepted,
+            score=max(-1.0, min(1.0, headroom / station.capacity_bu)),
+            outcome=DecisionOutcome.ACCEPT if accepted else DecisionOutcome.REJECT,
+            reason=reason,
+            diagnostics={
+                "adaptive_threshold_bu": threshold,
+                "reserve_bu": self._reserve_bu,
+                "failure_ewma": self._failure_ewma,
+            },
+        )

@@ -1,0 +1,182 @@
+"""Model-predictive admission control with a short-horizon occupancy forecast.
+
+The controller keeps cheap online estimates of the offered load — the
+arrival rate (exponentially forgotten interarrival average), the mean
+bandwidth demand and the mean requested holding time — and, for every new
+call, rolls a deterministic fluid model of the cell occupancy forward over
+a short horizon under the two candidate actions:
+
+* **admit**: occupancy starts from ``used + demand``;
+* **reject**: occupancy starts from ``used``.
+
+The fluid model is the M/G/∞-style relaxation ``occ(t) = L + (occ(0) - L)
+· exp(-t/τ)`` with steady state ``L = λ·b·τ`` (Little's law on the
+estimated offered load).  The call is admitted only when the admit
+rollout stays inside a safety margin of capacity at the horizon — i.e.
+when the model predicts that accepting now will not squeeze the headroom
+handoffs will need shortly.  Handoffs themselves are never scored: they
+are admitted whenever they fit, which is what keeps the predicted
+headroom meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cellular.calls import Call, CallType
+from ..cellular.cell import BaseStation
+from .base import AdmissionController, AdmissionDecision, DecisionOutcome
+
+__all__ = ["MPCLookaheadConfig", "MPCLookaheadController"]
+
+
+@dataclass(frozen=True)
+class MPCLookaheadConfig:
+    """Forecast parameters of the lookahead controller."""
+
+    #: Forecast horizon (seconds) the admit/reject rollouts are scored at.
+    horizon_s: float = 30.0
+    #: Fraction of capacity the admit rollout must stay within.
+    safety_margin: float = 0.92
+    #: Occupancy fraction below which new calls are always admitted (the
+    #: forecast cannot starve an idle cell on a pessimistic rate estimate).
+    free_admission_fraction: float = 0.5
+    #: Exponential forgetting factor of the online load estimates.
+    forgetting: float = 0.9
+    #: Holding-time prior (seconds) used before any calls are observed.
+    prior_holding_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {self.horizon_s}")
+        if not 0.0 < self.safety_margin <= 1.0:
+            raise ValueError(
+                f"safety_margin must lie in (0, 1], got {self.safety_margin}"
+            )
+        if not 0.0 <= self.free_admission_fraction <= 1.0:
+            raise ValueError(
+                "free_admission_fraction must lie in [0, 1], "
+                f"got {self.free_admission_fraction}"
+            )
+        if not 0.0 < self.forgetting < 1.0:
+            raise ValueError(f"forgetting must lie in (0, 1), got {self.forgetting}")
+        if self.prior_holding_s <= 0:
+            raise ValueError(
+                f"prior_holding_s must be positive, got {self.prior_holding_s}"
+            )
+
+
+class MPCLookaheadController(AdmissionController):
+    """Admit new calls only when the admit rollout stays inside the margin."""
+
+    name = "MPCLookahead"
+
+    def __init__(self, config: MPCLookaheadConfig | None = None):
+        self._config = config or MPCLookaheadConfig()
+        self.reset()
+
+    @property
+    def config(self) -> MPCLookaheadConfig:
+        return self._config
+
+    def reset(self) -> None:
+        self._last_arrival_s: float | None = None
+        self._interarrival_ewma_s: float | None = None
+        self._bandwidth_ewma_bu: float | None = None
+        self._holding_ewma_s: float = self._config.prior_holding_s
+
+    # -- online load estimates -------------------------------------------
+    def _observe(self, call: Call, now: float) -> None:
+        forgetting = self._config.forgetting
+        if self._last_arrival_s is not None:
+            interarrival = now - self._last_arrival_s
+            if interarrival > 0.0:
+                if self._interarrival_ewma_s is None:
+                    self._interarrival_ewma_s = interarrival
+                else:
+                    self._interarrival_ewma_s = (
+                        forgetting * self._interarrival_ewma_s
+                        + (1.0 - forgetting) * interarrival
+                    )
+        self._last_arrival_s = now
+        demand = float(call.bandwidth_units)
+        if self._bandwidth_ewma_bu is None:
+            self._bandwidth_ewma_bu = demand
+        else:
+            self._bandwidth_ewma_bu = (
+                forgetting * self._bandwidth_ewma_bu + (1.0 - forgetting) * demand
+            )
+        self._holding_ewma_s = (
+            forgetting * self._holding_ewma_s
+            + (1.0 - forgetting) * call.holding_time_s
+        )
+
+    def forecast_occupancy(self, start_bu: float) -> float:
+        """Fluid rollout: occupancy at the horizon starting from ``start_bu``."""
+        tau = self._holding_ewma_s
+        if self._interarrival_ewma_s is None or self._bandwidth_ewma_bu is None:
+            # No rate evidence yet: pure exponential drain of the start state.
+            steady = 0.0
+        else:
+            rate = 1.0 / self._interarrival_ewma_s
+            steady = rate * self._bandwidth_ewma_bu * tau
+        decay = math.exp(-self._config.horizon_s / tau)
+        return steady + (start_bu - steady) * decay
+
+    # -- decisions --------------------------------------------------------
+    def decide(self, call: Call, station: BaseStation, now: float) -> AdmissionDecision:
+        fits = station.can_fit(call.bandwidth_units)
+        if call.call_type is CallType.HANDOFF:
+            headroom = station.free_bu - call.bandwidth_units
+            return AdmissionDecision(
+                accepted=fits,
+                score=max(-1.0, min(1.0, headroom / station.capacity_bu)),
+                outcome=DecisionOutcome.ACCEPT if fits else DecisionOutcome.REJECT,
+                reason=(
+                    "handoff admitted (never scored against the forecast)"
+                    if fits
+                    else (
+                        f"handoff dropped: need {call.bandwidth_units} BU, "
+                        f"{station.free_bu} BU free"
+                    )
+                ),
+            )
+        self._observe(call, now)
+        margin = self._config.safety_margin * station.capacity_bu
+        admit_rollout = self.forecast_occupancy(
+            float(station.used_bu + call.bandwidth_units)
+        )
+        reject_rollout = self.forecast_occupancy(float(station.used_bu))
+        floor = self._config.free_admission_fraction * station.capacity_bu
+        nearly_idle = (station.used_bu + call.bandwidth_units) <= floor
+        accepted = fits and (nearly_idle or admit_rollout <= margin)
+        if accepted:
+            reason = (
+                f"admit rollout {admit_rollout:.1f} BU stays inside the "
+                f"{margin:.1f} BU margin at the {self._config.horizon_s:.0f} s horizon"
+            )
+        elif not fits:
+            reason = (
+                f"insufficient bandwidth: need {call.bandwidth_units} BU, "
+                f"{station.free_bu} BU free"
+            )
+        else:
+            reason = (
+                f"new call rejected: admit rollout {admit_rollout:.1f} BU "
+                f"exceeds the {margin:.1f} BU margin "
+                f"(reject rollout {reject_rollout:.1f} BU)"
+            )
+        slack = (margin - admit_rollout) / station.capacity_bu
+        return AdmissionDecision(
+            accepted=accepted,
+            score=max(-1.0, min(1.0, slack)),
+            outcome=DecisionOutcome.ACCEPT if accepted else DecisionOutcome.REJECT,
+            reason=reason,
+            diagnostics={
+                "admit_rollout_bu": admit_rollout,
+                "reject_rollout_bu": reject_rollout,
+                "margin_bu": margin,
+                "holding_ewma_s": self._holding_ewma_s,
+            },
+        )

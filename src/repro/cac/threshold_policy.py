@@ -24,6 +24,7 @@ def _default_thresholds() -> dict[ServiceClass, int]:
     # reflecting that wide calls displace many narrow ones.
     return {
         ServiceClass.TEXT: PAPER_BANDWIDTH_UNITS - 2,
+        ServiceClass.DATA: PAPER_BANDWIDTH_UNITS - 4,
         ServiceClass.VOICE: PAPER_BANDWIDTH_UNITS - 6,
         ServiceClass.VIDEO: PAPER_BANDWIDTH_UNITS - 12,
     }

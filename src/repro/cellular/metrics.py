@@ -166,10 +166,13 @@ class MetricsCollector:
 
     def record_completion(self, call: Call) -> None:
         """Record the final fate of an admitted call."""
+        bucket = self._service_bucket(call.service)
         if call.state is CallState.COMPLETED:
             self._completed += 1
+            bucket["completed"] += 1
         elif call.state is CallState.DROPPED:
             self._dropped += 1
+            bucket["dropped"] += 1
         else:
             raise ValueError(
                 f"call {call.call_id} is not finished (state={call.state.value})"
@@ -177,7 +180,13 @@ class MetricsCollector:
 
     def _service_bucket(self, service: ServiceClass) -> dict[str, int]:
         if service not in self._by_service:
-            self._by_service[service] = {"requested": 0, "accepted": 0, "blocked": 0}
+            self._by_service[service] = {
+                "requested": 0,
+                "accepted": 0,
+                "blocked": 0,
+                "dropped": 0,
+                "completed": 0,
+            }
         return self._by_service[service]
 
     # ------------------------------------------------------------------
@@ -196,8 +205,27 @@ class MetricsCollector:
         )
 
     def per_service(self) -> dict[ServiceClass, dict[str, int]]:
-        """Per-class request/accept/block counters."""
+        """Per-class request/accept/block/drop/complete counters."""
         return {service: dict(counts) for service, counts in self._by_service.items()}
+
+    def class_counter_values(self, service_names: Sequence[str]) -> tuple[float, ...]:
+        """Flattened per-class counters of the named services.
+
+        Class-major order over (requested, accepted, blocked, dropped,
+        completed) — the exact layout of
+        :data:`repro.analysis.frame.CLASS_COUNTER_FIELDS`, so workload
+        runs can hand the tuple straight to a frame row.  Services with
+        no recorded calls report zeros.
+        """
+        values: list[float] = []
+        empty = {"requested": 0, "accepted": 0, "blocked": 0, "dropped": 0, "completed": 0}
+        for name in service_names:
+            bucket = self._by_service.get(ServiceClass(name), empty)
+            values.extend(
+                float(bucket[counter])
+                for counter in ("requested", "accepted", "blocked", "dropped", "completed")
+            )
+        return tuple(values)
 
     def acceptance_percentage_for(self, service: ServiceClass) -> float:
         """Acceptance percentage restricted to one service class."""

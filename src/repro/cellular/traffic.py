@@ -38,11 +38,17 @@ PAPER_BANDWIDTH_UNITS = 40
 
 
 class ServiceClass(enum.Enum):
-    """The paper's three service classes."""
+    """The paper's three service classes, plus bulk data (workload studies).
+
+    ``DATA`` is not part of the paper's mix — it exists for the
+    :mod:`repro.workloads` multi-service presets (voice/data/video) and is
+    non-real-time like ``TEXT``.
+    """
 
     TEXT = "text"
     VOICE = "voice"
     VIDEO = "video"
+    DATA = "data"
 
     @property
     def is_real_time(self) -> bool:

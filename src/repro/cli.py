@@ -33,9 +33,11 @@ from .api import (
     COMPARISON_METRICS,
     CONTROLLERS,
     DEFAULT_NETWORK_CONTROLLERS,
+    DEFAULT_SERVICE_CLASSES,
     ENGINES,
     EXECUTORS,
     SCENARIO_KINDS,
+    WORKLOADS,
     Campaign,
     CampaignReport,
     CampaignRunner,
@@ -91,6 +93,7 @@ _NETWORK_SHAPING_DEFAULTS: dict[str, object] = {
     "seed": 20070627,
     "mode": "coupled",
     "window": None,
+    "workload": None,
     **_SHARED_SHAPING_DEFAULTS,
 }
 _SERVICE_REPLAY_SHAPING_DEFAULTS: dict[str, object] = {
@@ -337,6 +340,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=_NETWORK_SHAPING_DEFAULTS["window"],
         help="barrier interval in simulated seconds of the coupled-sharded "
         "mode (default: the mobility update interval)",
+    )
+    network.add_argument(
+        "--workload",
+        default=_NETWORK_SHAPING_DEFAULTS["workload"],
+        metavar="NAME_OR_JSON",
+        help="arrival-process workload: a registered name (mmpp, heavy-tail, "
+        "diurnal, flash-crowd; see `repro list --format json`) or a "
+        "workload-definition JSON path; default: the paper's Poisson "
+        "arrivals",
     )
     _add_performance_flags(network)
     _add_report_flags(network)
@@ -607,6 +619,7 @@ def _scenario_from_network_flags(args: argparse.Namespace) -> NetworkSweepScenar
         "engine": args.engine,
         "executor": args.executor,
         "workers": args.workers,
+        "workload": args.workload,
     }
     if args.mode == "coupled-sharded":
         return CoupledShardedNetworkSweepScenario(window_s=args.window, **shape)
@@ -688,6 +701,24 @@ def _registries_payload() -> dict[str, object]:
         "executors": list(EXECUTORS.names()),
         "comparison_metrics": list(COMPARISON_METRICS.names()),
         "tuning_strategies": list(STRATEGIES.names()),
+        "workloads": [
+            {
+                "name": name,
+                "arrival": type(WORKLOADS.get(name).arrival).kind,
+                "service_classes": list(WORKLOADS.get(name).class_names()) or None,
+            }
+            for name in WORKLOADS.names()
+        ],
+        "service_classes": [
+            {
+                "service": definition.service,
+                "bandwidth_units": definition.bandwidth_units,
+                "mean_holding_time_s": definition.mean_holding_time_s,
+                "share": definition.share,
+                "priority_weight": definition.priority_weight,
+            }
+            for definition in DEFAULT_SERVICE_CLASSES
+        ],
         "controller_definitions": {
             "suffix": DEFINITION_CONTROLLER_SUFFIX,
             "builtin_exports": [

@@ -17,8 +17,9 @@ from ..cac.facs.system import FACSConfig
 from ..cac.scc.system import SCCConfig
 from ..simulation.config import PAPER_REQUEST_COUNTS
 from ..simulation.executor import SweepExecutor
-from ..simulation.scenario import controller_comparison_variants
+from ..simulation.scenario import controller_comparison_variants, with_workload
 from ..simulation.sweep import SweepResult, run_acceptance_sweep
+from ..workloads import WorkloadSpec
 
 __all__ = ["reproduce_figure10", "render_figure10", "crossover_request_count"]
 
@@ -30,10 +31,14 @@ def reproduce_figure10(
     facs_config: FACSConfig | None = None,
     scc_config: SCCConfig | None = None,
     executor: SweepExecutor | str | None = None,
+    workload: WorkloadSpec | None = None,
 ) -> SweepResult:
     """Run the Fig. 10 sweep: the FACS and SCC curves on the same workload."""
-    variants = controller_comparison_variants(
-        seed=seed, facs_config=facs_config, scc_config=scc_config
+    variants = with_workload(
+        controller_comparison_variants(
+            seed=seed, facs_config=facs_config, scc_config=scc_config
+        ),
+        workload,
     )
     return run_acceptance_sweep(
         name="fig10-facs-vs-scc",

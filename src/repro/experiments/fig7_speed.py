@@ -17,8 +17,13 @@ from ..analysis.tables import format_curve_table
 from ..cac.facs.system import FACSConfig
 from ..simulation.config import PAPER_REQUEST_COUNTS
 from ..simulation.executor import SweepExecutor
-from ..simulation.scenario import PAPER_SPEED_VALUES_KMH, speed_sweep_variants
+from ..simulation.scenario import (
+    PAPER_SPEED_VALUES_KMH,
+    speed_sweep_variants,
+    with_workload,
+)
 from ..simulation.sweep import SweepResult, run_acceptance_sweep
+from ..workloads import WorkloadSpec
 
 __all__ = ["reproduce_figure7", "render_figure7"]
 
@@ -30,9 +35,13 @@ def reproduce_figure7(
     seed: int = 20070607,
     facs_config: FACSConfig | None = None,
     executor: SweepExecutor | str | None = None,
+    workload: WorkloadSpec | None = None,
 ) -> SweepResult:
     """Run the Fig. 7 sweep and return one curve per speed value."""
-    variants = speed_sweep_variants(speeds_kmh, seed=seed, facs_config=facs_config)
+    variants = with_workload(
+        speed_sweep_variants(speeds_kmh, seed=seed, facs_config=facs_config),
+        workload,
+    )
     return run_acceptance_sweep(
         name="fig7-speed",
         variants=variants,

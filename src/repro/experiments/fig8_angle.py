@@ -16,8 +16,13 @@ from ..analysis.tables import format_curve_table
 from ..cac.facs.system import FACSConfig
 from ..simulation.config import PAPER_REQUEST_COUNTS
 from ..simulation.executor import SweepExecutor
-from ..simulation.scenario import PAPER_ANGLE_VALUES_DEG, angle_sweep_variants
+from ..simulation.scenario import (
+    PAPER_ANGLE_VALUES_DEG,
+    angle_sweep_variants,
+    with_workload,
+)
 from ..simulation.sweep import SweepResult, run_acceptance_sweep
+from ..workloads import WorkloadSpec
 
 __all__ = ["reproduce_figure8", "render_figure8"]
 
@@ -29,9 +34,13 @@ def reproduce_figure8(
     seed: int = 20070608,
     facs_config: FACSConfig | None = None,
     executor: SweepExecutor | str | None = None,
+    workload: WorkloadSpec | None = None,
 ) -> SweepResult:
     """Run the Fig. 8 sweep and return one curve per angle value."""
-    variants = angle_sweep_variants(angles_deg, seed=seed, facs_config=facs_config)
+    variants = with_workload(
+        angle_sweep_variants(angles_deg, seed=seed, facs_config=facs_config),
+        workload,
+    )
     return run_acceptance_sweep(
         name="fig8-angle",
         variants=variants,

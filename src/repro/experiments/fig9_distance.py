@@ -16,8 +16,13 @@ from ..analysis.tables import format_curve_table
 from ..cac.facs.system import FACSConfig
 from ..simulation.config import PAPER_REQUEST_COUNTS
 from ..simulation.executor import SweepExecutor
-from ..simulation.scenario import PAPER_DISTANCE_VALUES_KM, distance_sweep_variants
+from ..simulation.scenario import (
+    PAPER_DISTANCE_VALUES_KM,
+    distance_sweep_variants,
+    with_workload,
+)
 from ..simulation.sweep import SweepResult, run_acceptance_sweep
+from ..workloads import WorkloadSpec
 
 __all__ = ["reproduce_figure9", "render_figure9", "curve_spread"]
 
@@ -29,9 +34,13 @@ def reproduce_figure9(
     seed: int = 20070609,
     facs_config: FACSConfig | None = None,
     executor: SweepExecutor | str | None = None,
+    workload: WorkloadSpec | None = None,
 ) -> SweepResult:
     """Run the Fig. 9 sweep and return one curve per distance value."""
-    variants = distance_sweep_variants(distances_km, seed=seed, facs_config=facs_config)
+    variants = with_workload(
+        distance_sweep_variants(distances_km, seed=seed, facs_config=facs_config),
+        workload,
+    )
     return run_acceptance_sweep(
         name="fig9-distance",
         variants=variants,

@@ -61,6 +61,11 @@ class BatchRunOutput:
     result: RunResult
     records: tuple[BatchCallRecord, ...]
     peak_occupancy_bu: int
+    #: Per-service-class admission counters, attached only by workload
+    #: runs: class names and values flattened class-major over
+    #: :data:`repro.analysis.frame.CLASS_COUNTER_FIELDS`.
+    class_names: tuple[str, ...] = ()
+    class_values: tuple[float, ...] = ()
 
     @property
     def acceptance_percentage(self) -> float:
@@ -80,14 +85,21 @@ def build_requests(config: BatchExperimentConfig, streams: StreamFactory) -> lis
     user_rng = streams.stream("user-state")
     holding_rng = streams.stream("holding-time")
 
-    arrival_times = sorted(
-        arrival_rng.uniform(0.0, config.arrival_window_s)
-        for _ in range(config.request_count)
-    )
+    if config.workload is None:
+        # The legacy draw sequence, reproduced bit for bit.
+        arrival_times = sorted(
+            arrival_rng.uniform(0.0, config.arrival_window_s)
+            for _ in range(config.request_count)
+        )
+    else:
+        arrival_times = config.workload.arrival.batch_arrival_times(
+            arrival_rng, config.request_count, config.arrival_window_s
+        )
+    mix = config.effective_traffic_mix()
     requests: list[Call] = []
     for sequence, arrival in enumerate(arrival_times, start=1):
-        service = config.traffic_mix.sample_class(class_rng)
-        spec = config.traffic_mix.spec(service)
+        service = mix.sample_class(class_rng)
+        spec = mix.spec(service)
         user_state = config.user_profile.sample(user_rng)
         holding = holding_rng.exponential(spec.mean_holding_time_s)
         requests.append(
@@ -188,10 +200,13 @@ def run_batch_experiment(
         parameters=parameters,
         seed=config.seed,
     )
+    class_names = () if config.workload is None else config.workload.class_names()
     return BatchRunOutput(
         result=result,
         records=tuple(records),
         peak_occupancy_bu=peak_occupancy,
+        class_names=class_names,
+        class_values=metrics.class_counter_values(class_names),
     )
 
 
@@ -207,5 +222,11 @@ def run_batch_experiment_row(
     :class:`~repro.analysis.frame.MetricsFrame` stacks and
     ``group_reduce``-s, so nothing richer ever crosses a process boundary.
     """
-    result = run_batch_experiment(config, controller_factory).result
-    return run_result_row(result, label=label, replication=config.replication)
+    output = run_batch_experiment(config, controller_factory)
+    return run_result_row(
+        output.result,
+        label=label,
+        replication=config.replication,
+        class_names=output.class_names,
+        class_values=output.class_values,
+    )

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from ..cellular.mobility import UserProfile
 from ..cellular.network import hex_cell_count
 from ..cellular.traffic import PAPER_BANDWIDTH_UNITS, PAPER_TRAFFIC_MIX, TrafficMix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..workloads import WorkloadSpec
 
 __all__ = ["BatchExperimentConfig", "NetworkExperimentConfig", "PAPER_REQUEST_COUNTS"]
 
@@ -38,6 +42,12 @@ class BatchExperimentConfig:
     #: Distance (km) assumed between the user and the BS when the profile
     #: fixes it; only used for metadata, the profile is authoritative.
     replication: int = 0
+    #: Optional workload model (:class:`repro.workloads.WorkloadSpec`).
+    #: ``None`` is the legacy behaviour — Poisson arrivals over the window
+    #: with ``traffic_mix`` — reproduced bit for bit; a spec swaps in its
+    #: arrival process and (when it defines classes) its service mix, and
+    #: turns on the per-class admission counters.
+    workload: "WorkloadSpec | None" = None
 
     def __post_init__(self) -> None:
         if self.request_count < 0:
@@ -48,6 +58,14 @@ class BatchExperimentConfig:
             raise ValueError(
                 f"arrival_window_s must be positive, got {self.arrival_window_s}"
             )
+
+    def effective_traffic_mix(self) -> TrafficMix:
+        """The mix requests draw from: the workload's, else the config's."""
+        if self.workload is not None:
+            mix = self.workload.traffic_mix()
+            if mix is not None:
+                return mix
+        return self.traffic_mix
 
     @property
     def stream_master_seed(self) -> int:
@@ -98,6 +116,10 @@ class NetworkExperimentConfig:
     #: topology model a congested downtown core next to lightly provisioned
     #: suburbs without forking the config schema.
     cell_capacities: tuple[int, ...] | None = None
+    #: Optional workload model; ``None`` keeps the legacy Poisson arrivals
+    #: and ``traffic_mix`` bit for bit (see
+    #: :attr:`BatchExperimentConfig.workload`).
+    workload: "WorkloadSpec | None" = None
 
     def __post_init__(self) -> None:
         if self.rings < 0:
@@ -141,6 +163,14 @@ class NetworkExperimentConfig:
         if self.cell_capacities is None:
             return self.capacity_bu
         return self.cell_capacities[cell_index]
+
+    def effective_traffic_mix(self) -> TrafficMix:
+        """The mix arrivals draw from: the workload's, else the config's."""
+        if self.workload is not None:
+            mix = self.workload.traffic_mix()
+            if mix is not None:
+                return mix
+        return self.traffic_mix
 
     @property
     def stream_master_seed(self) -> int:

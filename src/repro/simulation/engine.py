@@ -48,6 +48,11 @@ class NetworkRunOutput:
     completed_calls: int
     dropped_calls: int
     time_average_occupancy_bu: float
+    #: Per-service-class admission counters, attached only by workload
+    #: runs: the class names and the values flattened class-major over
+    #: :data:`repro.analysis.frame.CLASS_COUNTER_FIELDS`.
+    class_names: tuple[str, ...] = ()
+    class_values: tuple[float, ...] = ()
 
     @property
     def handoff_failure_ratio(self) -> float:
@@ -196,16 +201,29 @@ class NetworkSimulation:
         return None
 
     def _cell_arrival_process(self, cell: Cell):
-        """Poisson new-call arrivals at one cell."""
+        """New-call arrivals at one cell (Poisson, or the workload's model)."""
         arrival_rng = self._streams.stream(f"arrivals-{cell.cell_id}")
         class_rng = self._streams.stream(f"class-{cell.cell_id}")
         terminal_rng = self._streams.stream(f"terminal-{cell.cell_id}")
         holding_rng = self._streams.stream(f"holding-{cell.cell_id}")
-        mix = self._config.traffic_mix
-        while True:
-            yield self._env.timeout(
-                arrival_rng.exponential(1.0 / self._config.arrival_rate_per_cell_per_s)
+        mix = self._config.effective_traffic_mix()
+        workload = self._config.workload
+        # workload=None keeps the exact legacy draw sequence; a workload
+        # swaps in its interarrival sampler on the same per-cell stream.
+        sampler = (
+            None
+            if workload is None
+            else workload.arrival.sampler(
+                arrival_rng, self._config.arrival_rate_per_cell_per_s
             )
+        )
+        while True:
+            if sampler is None:
+                yield self._env.timeout(
+                    arrival_rng.exponential(1.0 / self._config.arrival_rate_per_cell_per_s)
+                )
+            else:
+                yield self._env.timeout(sampler.next_interarrival(self._env.now))
             if self._env.now >= self._config.duration_s:
                 return
             service = mix.sample_class(class_rng)
@@ -267,6 +285,8 @@ class NetworkSimulation:
             },
             seed=self._config.seed,
         )
+        workload = self._config.workload
+        class_names = () if workload is None else workload.class_names()
         return NetworkRunOutput(
             result=result,
             handoff_attempts=self._handoff_attempts,
@@ -274,6 +294,8 @@ class NetworkSimulation:
             completed_calls=self._completed,
             dropped_calls=self._dropped,
             time_average_occupancy_bu=self._occupancy_time_integral / elapsed,
+            class_names=class_names,
+            class_values=self._metrics.class_counter_values(class_names),
         )
 
 

@@ -8,8 +8,8 @@ through these builders so the workload definitions live in exactly one place.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from ..cac.base import AdmissionController
 from ..cac.complete_sharing import CompleteSharingController
@@ -19,6 +19,9 @@ from ..cac.scc.system import SCCConfig, ShadowClusterController
 from ..cac.threshold_policy import ThresholdPolicyController
 from ..cellular.mobility import UserProfile
 from .config import BatchExperimentConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..workloads import WorkloadSpec
 
 __all__ = [
     "FACSControllerFactory",
@@ -33,6 +36,7 @@ __all__ = [
     "distance_sweep_variants",
     "controller_comparison_variants",
     "baseline_comparison_variants",
+    "with_workload",
 ]
 
 ControllerFactory = Callable[[], AdmissionController]
@@ -80,6 +84,22 @@ def scc_factory(config: SCCConfig | None = None) -> ControllerFactory:
 
 def _base_config(seed: int) -> BatchExperimentConfig:
     return BatchExperimentConfig(seed=seed)
+
+
+def with_workload(
+    variants: Mapping[str, Variant], workload: "WorkloadSpec | None"
+) -> Mapping[str, Variant]:
+    """Re-seat every variant config onto ``workload``.
+
+    ``None`` returns ``variants`` unchanged (the legacy Poisson arrivals),
+    so figure reproductions without a workload stay byte-identical.
+    """
+    if workload is None:
+        return variants
+    return {
+        label: (replace(config, workload=workload), factory)
+        for label, (config, factory) in variants.items()
+    }
 
 
 def speed_sweep_variants(

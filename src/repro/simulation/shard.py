@@ -136,6 +136,9 @@ class ShardOutcome:
     dropped_calls: int
     occupancy_time_integral: float
     last_occupancy_sample: float
+    #: Per-service-class counters (workload runs only), flattened
+    #: class-major over :data:`repro.analysis.frame.CLASS_COUNTER_FIELDS`.
+    class_values: tuple[float, ...] = ()
 
 
 class CellShard:
@@ -230,17 +233,30 @@ class CellShard:
 
     # -- processes -------------------------------------------------------
     def _arrival_process(self):
-        """Poisson new-call arrivals — the coupled engine's per-cell body."""
+        """New-call arrivals — the coupled engine's per-cell body."""
         cell = self._cell
         arrival_rng = self._streams.stream(f"arrivals-{cell.cell_id}")
         class_rng = self._streams.stream(f"class-{cell.cell_id}")
         terminal_rng = self._streams.stream(f"terminal-{cell.cell_id}")
         holding_rng = self._streams.stream(f"holding-{cell.cell_id}")
-        mix = self._config.traffic_mix
-        while True:
-            yield self._env.timeout(
-                arrival_rng.exponential(1.0 / self._config.arrival_rate_per_cell_per_s)
+        mix = self._config.effective_traffic_mix()
+        workload = self._config.workload
+        # Mirrors the coupled engine exactly: workload=None keeps the
+        # legacy draw sequence on the same per-cell stream.
+        sampler = (
+            None
+            if workload is None
+            else workload.arrival.sampler(
+                arrival_rng, self._config.arrival_rate_per_cell_per_s
             )
+        )
+        while True:
+            if sampler is None:
+                yield self._env.timeout(
+                    arrival_rng.exponential(1.0 / self._config.arrival_rate_per_cell_per_s)
+                )
+            else:
+                yield self._env.timeout(sampler.next_interarrival(self._env.now))
             if self._env.now >= self._config.duration_s:
                 return
             service = mix.sample_class(class_rng)
@@ -398,6 +414,8 @@ class CellShard:
 
     def outcome(self) -> ShardOutcome:
         """Final statistics of this shard, for the coordinator to sum."""
+        workload = self._config.workload
+        class_names = () if workload is None else workload.class_names()
         return ShardOutcome(
             cell_id=self._cell.cell_id,
             controller=self._controller.name,
@@ -408,6 +426,7 @@ class CellShard:
             dropped_calls=self._dropped,
             occupancy_time_integral=self._occupancy_time_integral,
             last_occupancy_sample=self._last_occupancy_sample,
+            class_values=self._metrics.class_counter_values(class_names),
         )
 
 
@@ -636,6 +655,15 @@ class CoupledShardedNetworkSimulation:
             },
             seed=config.seed,
         )
+        workload = config.workload
+        class_names = () if workload is None else workload.class_names()
+        class_values: tuple[float, ...] = ()
+        if class_names:
+            width = len(outcomes[0].class_values)
+            class_values = tuple(
+                sum(outcome.class_values[index] for outcome in outcomes)
+                for index in range(width)
+            )
         return NetworkRunOutput(
             result=result,
             handoff_attempts=sum(o.handoff_attempts for o in outcomes),
@@ -643,6 +671,8 @@ class CoupledShardedNetworkSimulation:
             completed_calls=sum(o.completed_calls for o in outcomes),
             dropped_calls=sum(o.dropped_calls for o in outcomes),
             time_average_occupancy_bu=integral / elapsed,
+            class_names=class_names,
+            class_values=class_values,
         )
 
 

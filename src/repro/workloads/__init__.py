@@ -1,0 +1,59 @@
+"""Pluggable workload models: arrival processes and service-class mixes.
+
+The subsystem behind ROADMAP item 4: a string-keyed :data:`WORKLOADS`
+registry of arrival-process models (``poisson`` — the byte-identical
+legacy default — plus ``mmpp``, ``heavy-tail``, ``diurnal`` and
+``flash-crowd``) paired with multi-service class presets (voice/data/
+video), threaded through the batch, network, shard, trace and service
+simulation paths via the ``workload=`` field on
+:class:`~repro.simulation.config.BatchExperimentConfig` and
+:class:`~repro.simulation.config.NetworkExperimentConfig`.
+"""
+
+from .arrivals import (
+    ArrivalModel,
+    DiurnalArrival,
+    FlashCrowdArrival,
+    HeavyTailArrival,
+    InterarrivalSampler,
+    MMPPArrival,
+    PoissonArrival,
+)
+from .classes import (
+    DATA_CLASS,
+    DEFAULT_SERVICE_CLASSES,
+    VIDEO_CLASS,
+    VOICE_CLASS,
+    ServiceClassDef,
+    build_traffic_mix,
+)
+from .spec import (
+    ARRIVAL_KINDS,
+    WORKLOADS,
+    WorkloadError,
+    WorkloadSpec,
+    register_workload,
+    resolve_workload,
+)
+
+__all__ = [
+    "ArrivalModel",
+    "InterarrivalSampler",
+    "PoissonArrival",
+    "MMPPArrival",
+    "HeavyTailArrival",
+    "DiurnalArrival",
+    "FlashCrowdArrival",
+    "ServiceClassDef",
+    "VOICE_CLASS",
+    "DATA_CLASS",
+    "VIDEO_CLASS",
+    "DEFAULT_SERVICE_CLASSES",
+    "build_traffic_mix",
+    "WorkloadError",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "ARRIVAL_KINDS",
+    "register_workload",
+    "resolve_workload",
+]

@@ -1,0 +1,131 @@
+"""Multi-service class definitions for workload studies.
+
+The paper's mix (60% text / 30% voice / 10% video) is hard-wired into
+:data:`repro.cellular.traffic.PAPER_TRAFFIC_MIX`.  A
+:class:`ServiceClassDef` makes the class axis declarative: each definition
+names a :class:`~repro.cellular.traffic.ServiceClass`, its bandwidth-unit
+demand, its mean holding time, its share of arrivals, and a *priority
+weight* in ``(0, 1]`` that QoS-aware controllers may use to bias admission
+(1.0 = never sacrifice; lower = shed first under pressure).
+
+The voice/data/video presets model the workload ROADMAP item 4 asks for:
+interactive voice (narrow, strict), bulk data (narrow, elastic), streaming
+video (wide, semi-elastic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cellular.traffic import ServiceClass, TrafficClassSpec, TrafficMix
+
+__all__ = [
+    "ServiceClassDef",
+    "VOICE_CLASS",
+    "DATA_CLASS",
+    "VIDEO_CLASS",
+    "DEFAULT_SERVICE_CLASSES",
+    "build_traffic_mix",
+]
+
+
+@dataclass(frozen=True)
+class ServiceClassDef:
+    """One service class of a workload: demand, holding time, priority."""
+
+    service: str
+    bandwidth_units: int
+    mean_holding_time_s: float
+    share: float
+    priority_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        valid = tuple(member.value for member in ServiceClass)
+        if self.service not in valid:
+            raise ValueError(
+                f"unknown service class {self.service!r}; expected one of {valid}"
+            )
+        if not isinstance(self.bandwidth_units, int) or isinstance(
+            self.bandwidth_units, bool
+        ) or self.bandwidth_units <= 0:
+            raise ValueError(
+                f"bandwidth_units must be a positive integer, "
+                f"got {self.bandwidth_units!r}"
+            )
+        if not self.mean_holding_time_s > 0:
+            raise ValueError(
+                f"mean_holding_time_s must be positive, "
+                f"got {self.mean_holding_time_s}"
+            )
+        if not 0.0 < self.share <= 1.0:
+            raise ValueError(f"share must lie in (0, 1], got {self.share}")
+        if not 0.0 < self.priority_weight <= 1.0:
+            raise ValueError(
+                f"priority_weight must lie in (0, 1], got {self.priority_weight}"
+            )
+
+    @property
+    def service_class(self) -> ServiceClass:
+        return ServiceClass(self.service)
+
+    def to_traffic_spec(self) -> TrafficClassSpec:
+        """The simulator-facing spec (drops the priority weight)."""
+        return TrafficClassSpec(
+            service=self.service_class,
+            bandwidth_units=self.bandwidth_units,
+            share=self.share,
+            mean_holding_time_s=self.mean_holding_time_s,
+        )
+
+
+#: Interactive voice: narrow, short, never sacrificed.
+VOICE_CLASS = ServiceClassDef(
+    service="voice",
+    bandwidth_units=5,
+    mean_holding_time_s=120.0,
+    share=0.35,
+    priority_weight=1.0,
+)
+
+#: Bulk data: narrow, elastic — first to shed under pressure.
+DATA_CLASS = ServiceClassDef(
+    service="data",
+    bandwidth_units=2,
+    mean_holding_time_s=90.0,
+    share=0.45,
+    priority_weight=0.4,
+)
+
+#: Streaming video: wide, long, semi-elastic.
+VIDEO_CLASS = ServiceClassDef(
+    service="video",
+    bandwidth_units=10,
+    mean_holding_time_s=180.0,
+    share=0.20,
+    priority_weight=0.7,
+)
+
+#: The multi-service mix of the bursty registered workloads.
+DEFAULT_SERVICE_CLASSES: tuple[ServiceClassDef, ...] = (
+    VOICE_CLASS,
+    DATA_CLASS,
+    VIDEO_CLASS,
+)
+
+
+def build_traffic_mix(classes: tuple[ServiceClassDef, ...]) -> TrafficMix:
+    """A :class:`TrafficMix` over the definitions, in definition order.
+
+    Order matters: the mix's sampling table follows insertion order, so
+    two workloads listing the same classes differently draw differently.
+    """
+    seen: set[str] = set()
+    for definition in classes:
+        if definition.service in seen:
+            raise ValueError(
+                f"duplicate service class {definition.service!r} in workload"
+            )
+        seen.add(definition.service)
+    return TrafficMix(
+        {definition.service_class: definition.to_traffic_spec() for definition in classes}
+    )

@@ -1,0 +1,274 @@
+"""Workload specifications: registry, validation and the JSON codec core.
+
+A :class:`WorkloadSpec` bundles one arrival-process model with an optional
+multi-service class mix under a registrable name.  The string-keyed
+:data:`WORKLOADS` registry plays the same role `CONTROLLERS` does for
+admission policies: scenario configs, the CLI and campaigns refer to
+workloads by name, and :func:`resolve_workload` also accepts a ``*.json``
+file exported by :func:`repro.analysis.io.write_workload_json` — a
+definition file stands in for a registered name everywhere.
+
+``workload=None`` on a config is the legacy behaviour; the registered
+``"poisson"`` workload reproduces it draw for draw (and the scenario layer
+normalises the *name* ``"poisson"`` to ``None``, so default payloads stay
+byte-identical to the pre-workload schema).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from ..cellular.traffic import TrafficMix
+from ..registry import Registry
+from .arrivals import (
+    ArrivalModel,
+    DiurnalArrival,
+    FlashCrowdArrival,
+    HeavyTailArrival,
+    MMPPArrival,
+    PoissonArrival,
+)
+from .classes import DEFAULT_SERVICE_CLASSES, ServiceClassDef
+
+__all__ = [
+    "WorkloadError",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "ARRIVAL_KINDS",
+    "register_workload",
+    "resolve_workload",
+]
+
+
+class WorkloadError(ValueError):
+    """Raised on invalid workload specifications or payloads."""
+
+
+#: Arrival-model discriminators for the codec, kind -> dataclass.
+ARRIVAL_KINDS: dict[str, type[ArrivalModel]] = {
+    model.kind: model
+    for model in (
+        PoissonArrival,
+        MMPPArrival,
+        HeavyTailArrival,
+        DiurnalArrival,
+        FlashCrowdArrival,
+    )
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named workload: an arrival process plus optional service classes.
+
+    ``service_classes=None`` keeps the config's own traffic mix (the
+    paper's text/voice/video split); a tuple of
+    :class:`~repro.workloads.classes.ServiceClassDef` replaces it.
+    """
+
+    name: str
+    arrival: ArrivalModel
+    service_classes: tuple[ServiceClassDef, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise WorkloadError(f"workload name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.arrival, ArrivalModel) or type(self.arrival) is ArrivalModel:
+            raise WorkloadError(
+                f"arrival must be a concrete ArrivalModel, got {self.arrival!r}"
+            )
+        if self.service_classes is not None:
+            object.__setattr__(self, "service_classes", tuple(self.service_classes))
+            if not self.service_classes:
+                raise WorkloadError(
+                    "service_classes must be None or a non-empty tuple"
+                )
+            total = sum(d.share for d in self.service_classes)
+            if abs(total - 1.0) > 1e-9:
+                raise WorkloadError(
+                    f"service class shares must sum to 1, got {total:.6f}"
+                )
+            # Validates class uniqueness and TrafficMix invariants eagerly.
+            try:
+                self.traffic_mix()
+            except WorkloadError:
+                raise
+            except ValueError as exc:
+                raise WorkloadError(str(exc)) from exc
+
+    def traffic_mix(self) -> TrafficMix | None:
+        """The mix this workload imposes, or ``None`` to keep the config's."""
+        if self.service_classes is None:
+            return None
+        from .classes import build_traffic_mix
+
+        return build_traffic_mix(self.service_classes)
+
+    def class_names(self) -> tuple[str, ...]:
+        """Service names the per-class counters report, in mix order."""
+        if self.service_classes is None:
+            return ()
+        return tuple(definition.service for definition in self.service_classes)
+
+    # -- codec core (envelope added by repro.analysis.io) ----------------
+    def to_dict(self) -> dict[str, Any]:
+        arrival: dict[str, Any] = {"kind": type(self.arrival).kind}
+        for field_def in fields(self.arrival):
+            value = getattr(self.arrival, field_def.name)
+            arrival[field_def.name] = list(value) if isinstance(value, tuple) else value
+        payload: dict[str, Any] = {"name": self.name, "arrival": arrival}
+        if self.service_classes is None:
+            payload["service_classes"] = None
+        else:
+            payload["service_classes"] = [
+                {
+                    "service": d.service,
+                    "bandwidth_units": d.bandwidth_units,
+                    "mean_holding_time_s": d.mean_holding_time_s,
+                    "share": d.share,
+                    "priority_weight": d.priority_weight,
+                }
+                for d in self.service_classes
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WorkloadSpec":
+        known = {"name", "arrival", "service_classes"}
+        unknown = set(payload) - known
+        if unknown:
+            raise WorkloadError(
+                f"unknown workload fields {sorted(unknown)}; expected {sorted(known)}"
+            )
+        missing = {"name", "arrival"} - set(payload)
+        if missing:
+            raise WorkloadError(f"workload payload is missing {sorted(missing)}")
+        arrival_payload = payload["arrival"]
+        if not isinstance(arrival_payload, Mapping) or "kind" not in arrival_payload:
+            raise WorkloadError(
+                f"arrival must be an object with a 'kind', got {arrival_payload!r}"
+            )
+        kind = arrival_payload["kind"]
+        try:
+            model_cls = ARRIVAL_KINDS[kind]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown arrival kind {kind!r}; available: {sorted(ARRIVAL_KINDS)}"
+            ) from None
+        field_names = {f.name for f in fields(model_cls)}
+        params = {k: v for k, v in arrival_payload.items() if k != "kind"}
+        unknown_params = set(params) - field_names
+        if unknown_params:
+            raise WorkloadError(
+                f"unknown {kind!r} arrival parameters {sorted(unknown_params)}; "
+                f"expected {sorted(field_names)}"
+            )
+        params = {
+            k: tuple(v) if isinstance(v, list) else v for k, v in params.items()
+        }
+        try:
+            arrival = model_cls(**params)
+        except ValueError as exc:
+            raise WorkloadError(f"invalid {kind!r} arrival parameters: {exc}") from exc
+        classes_payload = payload.get("service_classes")
+        service_classes: tuple[ServiceClassDef, ...] | None = None
+        if classes_payload is not None:
+            if not isinstance(classes_payload, (list, tuple)):
+                raise WorkloadError(
+                    f"service_classes must be null or a list, got {classes_payload!r}"
+                )
+            entries = []
+            for entry in classes_payload:
+                if not isinstance(entry, Mapping):
+                    raise WorkloadError(
+                        f"each service class must be an object, got {entry!r}"
+                    )
+                class_fields = {f.name for f in fields(ServiceClassDef)}
+                unknown_class = set(entry) - class_fields
+                if unknown_class:
+                    raise WorkloadError(
+                        f"unknown service class fields {sorted(unknown_class)}; "
+                        f"expected {sorted(class_fields)}"
+                    )
+                try:
+                    entries.append(ServiceClassDef(**entry))
+                except ValueError as exc:
+                    raise WorkloadError(f"invalid service class: {exc}") from exc
+            service_classes = tuple(entries)
+        try:
+            return cls(
+                name=payload["name"],
+                arrival=arrival,
+                service_classes=service_classes,
+            )
+        except ValueError as exc:
+            raise WorkloadError(str(exc)) from exc
+
+
+WORKLOADS: Registry[WorkloadSpec] = Registry("workload")
+
+
+def register_workload(spec: WorkloadSpec, *, replace: bool = False) -> WorkloadSpec:
+    """Register ``spec`` under its own name."""
+    return WORKLOADS.register(spec.name, spec, replace=replace)
+
+
+#: The byte-identical default: legacy Poisson arrivals, config's own mix.
+register_workload(WorkloadSpec(name="poisson", arrival=PoissonArrival()))
+#: Bursty arrivals with the multi-service voice/data/video mix.
+register_workload(
+    WorkloadSpec(
+        name="mmpp", arrival=MMPPArrival(), service_classes=DEFAULT_SERVICE_CLASSES
+    )
+)
+register_workload(
+    WorkloadSpec(
+        name="heavy-tail",
+        arrival=HeavyTailArrival(),
+        service_classes=DEFAULT_SERVICE_CLASSES,
+    )
+)
+register_workload(
+    WorkloadSpec(
+        name="diurnal",
+        arrival=DiurnalArrival(),
+        service_classes=DEFAULT_SERVICE_CLASSES,
+    )
+)
+register_workload(
+    WorkloadSpec(
+        name="flash-crowd",
+        arrival=FlashCrowdArrival(),
+        service_classes=DEFAULT_SERVICE_CLASSES,
+    )
+)
+
+
+def resolve_workload(value: "WorkloadSpec | str | None") -> WorkloadSpec | None:
+    """Resolve a workload reference to a spec (or ``None`` for legacy).
+
+    Accepts a :class:`WorkloadSpec`, a registered name, or a path to a
+    workload JSON file (``*.json``, as written by
+    :func:`repro.analysis.io.write_workload_json`).  ``None`` and the name
+    ``"poisson"``'s *normalised* form pass through as ``None`` upstream;
+    here ``"poisson"`` resolves to the registered spec so direct callers
+    can still ask for it explicitly.
+    """
+    if value is None or isinstance(value, WorkloadSpec):
+        return value
+    if not isinstance(value, str):
+        raise WorkloadError(
+            f"workload must be a WorkloadSpec, a registered name, a .json "
+            f"path or None, got {value!r}"
+        )
+    if value.endswith(".json"):
+        from ..analysis.io import read_workload_json
+
+        return read_workload_json(value)
+    if value in WORKLOADS:
+        return WORKLOADS.get(value)
+    raise WorkloadError(
+        f"unknown workload {value!r}; registered: {list(WORKLOADS.names())} "
+        f"(or pass a workload definition .json path)"
+    )

@@ -1,0 +1,200 @@
+"""Tests of the adaptive-threshold and MPC-lookahead rival controllers."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.api import CONTROLLERS, controller_factory
+from repro.cac.adaptive_threshold import (
+    AdaptiveThresholdConfig,
+    AdaptiveThresholdController,
+)
+from repro.cac.mpc_lookahead import MPCLookaheadConfig, MPCLookaheadController
+from repro.cellular.calls import CallType
+from repro.cellular.traffic import ServiceClass
+from tests.conftest import make_call
+
+
+class TestAdaptiveThresholdConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"forgetting": 0.0},
+            {"forgetting": 1.0},
+            {"target_failure_ratio": 1.0},
+            {"target_failure_ratio": -0.1},
+            {"adapt_gain_bu": 0.0},
+            {"initial_reserve_bu": -1.0},
+            {"max_reserve_fraction": 0.0},
+            {"max_reserve_fraction": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveThresholdConfig(**kwargs)
+
+
+class TestAdaptiveThresholdController:
+    def test_handoffs_admitted_whenever_they_fit(self, station):
+        controller = AdaptiveThresholdController()
+        handoff = make_call(ServiceClass.VOICE, call_type=CallType.HANDOFF)
+        assert controller.decide(handoff, station, 0.0).accepted
+
+    def test_new_calls_blocked_inside_the_reservation(self, station):
+        controller = AdaptiveThresholdController(
+            AdaptiveThresholdConfig(initial_reserve_bu=10.0)
+        )
+        station.allocate(make_call(ServiceClass.VIDEO, bandwidth=28))
+        new_call = make_call(ServiceClass.VOICE)
+        handoff = make_call(ServiceClass.VOICE, call_type=CallType.HANDOFF)
+        assert not controller.decide(new_call, station, 0.0).accepted
+        assert controller.decide(handoff, station, 0.0).accepted
+
+    def test_failed_handoffs_widen_the_reservation(self, station):
+        controller = AdaptiveThresholdController()
+        station.allocate(make_call(ServiceClass.VIDEO, bandwidth=38))
+        before = controller.reserve_bu
+        dropped = make_call(ServiceClass.VOICE, call_type=CallType.HANDOFF)
+        assert not controller.decide(dropped, station, 0.0).accepted
+        assert controller.reserve_bu > before
+        assert controller.failure_ewma > AdaptiveThresholdConfig().target_failure_ratio
+
+    def test_clean_handoffs_decay_the_reservation_toward_zero(self, station):
+        controller = AdaptiveThresholdController(
+            AdaptiveThresholdConfig(initial_reserve_bu=8.0)
+        )
+        for _ in range(200):
+            handoff = make_call(ServiceClass.VOICE, call_type=CallType.HANDOFF)
+            assert controller.decide(handoff, station, 0.0).accepted
+        assert controller.reserve_bu < 8.0
+        assert controller.failure_ewma < AdaptiveThresholdConfig().target_failure_ratio
+
+    def test_reservation_never_exceeds_the_ceiling(self, station):
+        config = AdaptiveThresholdConfig(max_reserve_fraction=0.25, adapt_gain_bu=1000.0)
+        controller = AdaptiveThresholdController(config)
+        station.allocate(make_call(ServiceClass.VIDEO, bandwidth=38))
+        for _ in range(50):
+            controller.decide(
+                make_call(ServiceClass.VOICE, call_type=CallType.HANDOFF), station, 0.0
+            )
+        assert controller.reserve_bu <= 0.25 * station.capacity_bu
+
+    def test_reset_restores_the_initial_state(self, station):
+        controller = AdaptiveThresholdController()
+        station.allocate(make_call(ServiceClass.VIDEO, bandwidth=38))
+        controller.decide(
+            make_call(ServiceClass.VOICE, call_type=CallType.HANDOFF), station, 0.0
+        )
+        controller.reset()
+        assert controller.reserve_bu == AdaptiveThresholdConfig().initial_reserve_bu
+
+    def test_diagnostics_expose_the_threshold(self, station):
+        decision = AdaptiveThresholdController().decide(make_call(), station, 0.0)
+        assert "adaptive_threshold_bu" in decision.diagnostics
+        assert "failure_ewma" in decision.diagnostics
+
+
+class TestMPCLookaheadConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"horizon_s": 0.0},
+            {"safety_margin": 0.0},
+            {"safety_margin": 1.1},
+            {"free_admission_fraction": -0.1},
+            {"free_admission_fraction": 1.1},
+            {"forgetting": 1.0},
+            {"prior_holding_s": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MPCLookaheadConfig(**kwargs)
+
+
+class TestMPCLookaheadController:
+    def test_idle_cell_always_admits(self, station):
+        controller = MPCLookaheadController()
+        assert controller.decide(make_call(ServiceClass.VOICE), station, 0.0).accepted
+
+    def test_handoffs_bypass_the_forecast(self, station):
+        controller = MPCLookaheadController(
+            MPCLookaheadConfig(safety_margin=0.01, free_admission_fraction=0.0)
+        )
+        handoff = make_call(ServiceClass.VOICE, call_type=CallType.HANDOFF)
+        assert controller.decide(handoff, station, 0.0).accepted
+
+    def test_sustained_pressure_rejects_new_calls_before_capacity(self, station):
+        controller = MPCLookaheadController(
+            MPCLookaheadConfig(free_admission_fraction=0.0)
+        )
+        # Hammer the estimator: long calls arriving every second fills the
+        # forecast well past the margin while physical room remains.
+        now = 0.0
+        rejected_with_room = False
+        for _ in range(40):
+            call = make_call(ServiceClass.VOICE, holding=600.0)
+            decision = controller.decide(call, station, now)
+            if decision.accepted and station.can_fit(call.bandwidth_units):
+                station.allocate(call)
+            elif station.can_fit(call.bandwidth_units):
+                rejected_with_room = True
+                break
+            now += 1.0
+        assert rejected_with_room
+
+    def test_forecast_decays_toward_steady_state(self, station):
+        import math
+
+        controller = MPCLookaheadController()
+        controller._observe(make_call(ServiceClass.VOICE, holding=120.0), 0.0)
+        controller._observe(make_call(ServiceClass.VOICE, holding=120.0), 10.0)
+        # Estimates after two arrivals 10 s apart: rate 0.1/s, 5 BU, 120 s
+        # holding -> steady state 60 BU; the rollout is the fluid relaxation
+        # steady + (start - steady) * exp(-horizon/tau).
+        steady = 0.1 * 5.0 * 120.0
+        decay = math.exp(-MPCLookaheadConfig().horizon_s / 120.0)
+        assert controller.forecast_occupancy(40.0) == pytest.approx(
+            steady + (40.0 - steady) * decay
+        )
+        assert controller.forecast_occupancy(0.0) < controller.forecast_occupancy(40.0)
+
+    def test_forecast_with_no_rate_evidence_drains_the_start_state(self):
+        import math
+
+        controller = MPCLookaheadController()
+        decay = math.exp(
+            -MPCLookaheadConfig().horizon_s / MPCLookaheadConfig().prior_holding_s
+        )
+        assert controller.forecast_occupancy(40.0) == pytest.approx(40.0 * decay)
+
+    def test_reset_clears_the_estimates(self, station):
+        controller = MPCLookaheadController()
+        controller.decide(make_call(), station, 0.0)
+        controller.decide(make_call(), station, 5.0)
+        controller.reset()
+        assert controller._interarrival_ewma_s is None
+
+    def test_diagnostics_expose_both_rollouts(self, station):
+        controller = MPCLookaheadController(
+            MPCLookaheadConfig(free_admission_fraction=0.0)
+        )
+        decision = controller.decide(make_call(), station, 0.0)
+        assert "admit_rollout_bu" in decision.diagnostics
+        assert "reject_rollout_bu" in decision.diagnostics
+
+
+class TestRegistryIntegration:
+    def test_both_rivals_are_registered(self):
+        assert "AdaptiveThreshold" in CONTROLLERS
+        assert "MPCLookahead" in CONTROLLERS
+
+    @pytest.mark.parametrize("name", ["AdaptiveThreshold", "MPCLookahead"])
+    def test_factories_build_fresh_picklable_controllers(self, name):
+        factory = controller_factory(name)
+        assert pickle.loads(pickle.dumps(factory))
+        first, second = factory(), factory()
+        assert first is not second
+        assert first.name == name

@@ -242,6 +242,17 @@ class TestListJson:
             engine["name"] == "compiled" and engine["cli"]
             for engine in payload["engines"]
         )
+        workloads = {entry["name"]: entry for entry in payload["workloads"]}
+        assert set(workloads) == {
+            "poisson", "mmpp", "heavy-tail", "diurnal", "flash-crowd"
+        }
+        assert workloads["poisson"]["arrival"] == "poisson"
+        assert workloads["poisson"]["service_classes"] is None
+        assert workloads["mmpp"]["service_classes"] == ["voice", "data", "video"]
+        classes = {entry["service"]: entry for entry in payload["service_classes"]}
+        assert set(classes) == {"voice", "data", "video"}
+        assert classes["voice"]["priority_weight"] == 1.0
+        assert classes["video"]["bandwidth_units"] == 10
 
     def test_list_text_output_is_unchanged(self, capsys):
         assert main(["list"]) == 0

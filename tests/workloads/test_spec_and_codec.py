@@ -1,0 +1,219 @@
+"""Tests of workload specs: registry, validation and the JSON codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.io import (
+    read_workload_json,
+    workload_from_dict,
+    workload_to_dict,
+    write_workload_json,
+)
+from repro.workloads import (
+    DEFAULT_SERVICE_CLASSES,
+    WORKLOADS,
+    DiurnalArrival,
+    FlashCrowdArrival,
+    HeavyTailArrival,
+    MMPPArrival,
+    PoissonArrival,
+    ServiceClassDef,
+    WorkloadError,
+    WorkloadSpec,
+    build_traffic_mix,
+    resolve_workload,
+)
+
+REGISTERED = ("poisson", "mmpp", "heavy-tail", "diurnal", "flash-crowd")
+
+
+class TestRegistry:
+    def test_all_five_workloads_registered(self):
+        assert tuple(WORKLOADS.names()) == REGISTERED
+
+    def test_poisson_is_the_legacy_default(self):
+        spec = WORKLOADS.get("poisson")
+        assert isinstance(spec.arrival, PoissonArrival)
+        assert spec.service_classes is None
+        assert spec.traffic_mix() is None
+        assert spec.class_names() == ()
+
+    def test_bursty_workloads_carry_the_service_mix(self):
+        for name in ("mmpp", "heavy-tail", "diurnal", "flash-crowd"):
+            spec = WORKLOADS.get(name)
+            assert spec.service_classes == DEFAULT_SERVICE_CLASSES
+            assert spec.class_names() == ("voice", "data", "video")
+            assert spec.traffic_mix() is not None
+
+
+class TestResolve:
+    def test_none_and_spec_pass_through(self):
+        spec = WORKLOADS.get("mmpp")
+        assert resolve_workload(None) is None
+        assert resolve_workload(spec) is spec
+
+    def test_names_resolve_to_registered_specs(self):
+        for name in REGISTERED:
+            assert resolve_workload(name) is WORKLOADS.get(name)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            resolve_workload("fractal")
+
+    def test_non_string_raises(self):
+        with pytest.raises(WorkloadError):
+            resolve_workload(42)
+
+    def test_json_path_roundtrip(self, tmp_path):
+        spec = WorkloadSpec(
+            name="custom-burst",
+            arrival=MMPPArrival(rate_multipliers=(2.0, 0.5), mean_sojourn_s=(100.0, 200.0)),
+            service_classes=DEFAULT_SERVICE_CLASSES,
+        )
+        path = write_workload_json(spec, tmp_path / "custom.json")
+        assert resolve_workload(str(path)) == spec
+
+    def test_missing_json_path_raises(self, tmp_path):
+        with pytest.raises(WorkloadError, match="cannot read"):
+            resolve_workload(str(tmp_path / "absent.json"))
+
+
+class TestCodec:
+    @pytest.mark.parametrize("name", REGISTERED)
+    def test_registered_workloads_roundtrip(self, name):
+        spec = WORKLOADS.get(name)
+        assert workload_from_dict(workload_to_dict(spec)) == spec
+
+    def test_payload_is_schema_versioned(self):
+        payload = workload_to_dict(WORKLOADS.get("mmpp"))
+        assert payload["schema_version"] == 5
+        assert payload["type"] == "workload"
+        assert payload["arrival"]["kind"] == "mmpp"
+
+    def test_unknown_arrival_kind_rejected(self):
+        payload = workload_to_dict(WORKLOADS.get("poisson"))
+        payload["arrival"] = {"kind": "fractal"}
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            workload_from_dict(payload)
+
+    def test_unknown_arrival_parameter_rejected(self):
+        payload = workload_to_dict(WORKLOADS.get("mmpp"))
+        payload["arrival"]["burstiness"] = 3.0
+        with pytest.raises(ValueError, match="unknown 'mmpp' arrival parameters"):
+            workload_from_dict(payload)
+
+    def test_unknown_top_level_field_rejected(self):
+        payload = workload_to_dict(WORKLOADS.get("poisson"))
+        payload["colour"] = "blue"
+        with pytest.raises(ValueError, match="unknown workload fields"):
+            workload_from_dict(payload)
+
+    def test_unknown_service_class_field_rejected(self):
+        payload = workload_to_dict(WORKLOADS.get("mmpp"))
+        payload["service_classes"][0]["latency_budget"] = 1.0
+        with pytest.raises(ValueError, match="unknown service class fields"):
+            workload_from_dict(payload)
+
+    def test_invalid_parameters_surface_as_workload_errors(self):
+        payload = workload_to_dict(WORKLOADS.get("diurnal"))
+        payload["arrival"]["amplitude"] = 1.5
+        with pytest.raises(WorkloadError, match="invalid 'diurnal' arrival"):
+            workload_from_dict(payload)
+
+    def test_tampered_json_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(WorkloadError, match="not valid JSON"):
+            read_workload_json(path)
+
+
+class TestSpecValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="", arrival=PoissonArrival())
+
+    def test_abstract_arrival_rejected(self):
+        from repro.workloads.arrivals import ArrivalModel
+
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="x", arrival=ArrivalModel())
+
+    def test_empty_service_classes_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="x", arrival=PoissonArrival(), service_classes=())
+
+    def test_shares_must_sum_to_one(self):
+        lopsided = (
+            ServiceClassDef("voice", 5, 120.0, share=0.5),
+            ServiceClassDef("data", 2, 90.0, share=0.4),
+        )
+        with pytest.raises(WorkloadError, match="sum to 1"):
+            WorkloadSpec(name="x", arrival=PoissonArrival(), service_classes=lopsided)
+
+    def test_duplicate_service_rejected(self):
+        doubled = (
+            ServiceClassDef("voice", 5, 120.0, share=0.5),
+            ServiceClassDef("voice", 2, 90.0, share=0.5),
+        )
+        with pytest.raises(WorkloadError, match="duplicate service"):
+            WorkloadSpec(name="x", arrival=PoissonArrival(), service_classes=doubled)
+
+
+class TestServiceClassDef:
+    def test_presets_are_valid_and_build_a_mix(self):
+        mix = build_traffic_mix(DEFAULT_SERVICE_CLASSES)
+        assert len(mix.classes) == 3
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(ValueError, match="unknown service class"):
+            ServiceClassDef("fax", 1, 60.0, share=1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bandwidth_units": 0},
+            {"bandwidth_units": True},
+            {"mean_holding_time_s": 0.0},
+            {"share": 0.0},
+            {"share": 1.5},
+            {"priority_weight": 0.0},
+            {"priority_weight": 1.2},
+        ],
+    )
+    def test_invalid_numbers_rejected(self, kwargs):
+        base = dict(
+            service="voice", bandwidth_units=5, mean_holding_time_s=120.0, share=1.0
+        )
+        with pytest.raises(ValueError):
+            ServiceClassDef(**{**base, **kwargs})
+
+
+class TestArrivalValidation:
+    def test_mmpp_requires_unit_mean_multiplier(self):
+        with pytest.raises(ValueError, match="mean rate multiplier must be 1"):
+            MMPPArrival(rate_multipliers=(3.0, 3.0), mean_sojourn_s=(60.0, 60.0))
+
+    def test_mmpp_is_strictly_two_state(self):
+        with pytest.raises(ValueError, match="2-state"):
+            MMPPArrival(rate_multipliers=(1.0, 1.0, 1.0), mean_sojourn_s=(1.0, 1.0, 1.0))
+
+    def test_pareto_shape_must_have_finite_mean(self):
+        with pytest.raises(ValueError, match="shape must exceed 1"):
+            HeavyTailArrival(distribution="pareto", shape=0.9)
+
+    def test_heavy_tail_distribution_names(self):
+        with pytest.raises(ValueError, match="pareto.*lognormal"):
+            HeavyTailArrival(distribution="weibull")
+
+    def test_diurnal_amplitude_bounds(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalArrival(amplitude=1.0)
+
+    def test_flash_crowd_spike_must_fit_in_period(self):
+        with pytest.raises(ValueError, match="fit inside one period"):
+            FlashCrowdArrival(spike_start_s=580.0, spike_duration_s=60.0, period_s=600.0)
+
+    def test_flash_crowd_multiplier_must_amplify(self):
+        with pytest.raises(ValueError, match="multiplier must exceed 1"):
+            FlashCrowdArrival(multiplier=1.0)
