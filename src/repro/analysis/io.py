@@ -36,12 +36,20 @@ Versioning policy
   payload (:mod:`repro.tuning`).  All additive — old payloads simply
   lack the kind and the codecs — so the v3→v4 migration is the
   identity.
-* **v5** — current.  Adds the ``workload`` payload (arrival-process
+* **v5** — Adds the ``workload`` payload (arrival-process
   models and service classes, :mod:`repro.workloads`), the optional
   ``workload`` field on scenario payloads, and the optional
   ``class_names``/``class.*`` per-class counter columns inside
   ``metrics-frame`` payloads.  All additive — old payloads simply lack
   the field and the columns — so the v4→v5 migration is the identity.
+* **v6** — current.  Adds the optional ``stream`` field on
+  ``trace-arrivals`` scenarios (the frame-native columnar fast path of
+  :func:`repro.simulation.trace.run_trace_arrivals`) and the on-disk
+  memmap frame directory format
+  (:meth:`repro.analysis.frame.MetricsFrame.save_memmap`, versioned
+  separately by its own header).  All additive — ``stream`` is omitted
+  from payloads while ``False`` — so the v5→v6 migration is the
+  identity.
 * Future breaking field changes must bump :data:`SCHEMA_VERSION` and add a
   migration step to :data:`_MIGRATIONS`; decoding a payload newer than the
   running build always fails loudly rather than guessing.
@@ -103,7 +111,7 @@ __all__ = [
 # Payload schema versioning
 # ----------------------------------------------------------------------
 #: Version stamped into every newly serialized API payload.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 class PayloadVersionError(ValueError):
@@ -165,6 +173,17 @@ def _migrate_v4_to_v5(payload: dict[str, Any]) -> dict[str, Any]:
     return payload
 
 
+def _migrate_v5_to_v6(payload: dict[str, Any]) -> dict[str, Any]:
+    """v5 → v6: the identity — v6 only *added* fields.
+
+    New in v6: the optional ``stream`` field on ``trace-arrivals``
+    scenario payloads (omitted while ``False``) and the standalone
+    memmap frame directory format.  Old payloads simply lack the field,
+    and the decoder fills it from the dataclass default.
+    """
+    return payload
+
+
 #: Migration steps: version ``n`` → the function upgrading ``n`` to ``n+1``.
 _MIGRATIONS: dict[int, Callable[[dict[str, Any]], dict[str, Any]]] = {
     0: _migrate_v0_to_v1,
@@ -172,6 +191,7 @@ _MIGRATIONS: dict[int, Callable[[dict[str, Any]], dict[str, Any]]] = {
     2: _migrate_v2_to_v3,
     3: _migrate_v3_to_v4,
     4: _migrate_v4_to_v5,
+    5: _migrate_v5_to_v6,
 }
 
 

@@ -15,7 +15,23 @@ __all__ = [
     "paired_difference",
     "series_mean",
     "series_sample_std",
+    "acceptance_percentage",
 ]
+
+
+def acceptance_percentage(accepted: float, requested: float) -> float:
+    """Acceptance percentage with the pinned historical arithmetic.
+
+    ``100.0 * (accepted / requested)``, and ``0.0`` when nothing was
+    requested — the single executable spec of the paper's headline metric,
+    shared by :class:`repro.cellular.metrics.CallMetrics`, the frame's
+    derived acceptance column and the trace pipeline's counter-free
+    fallback, so every reporting path stays bit-identical (see
+    :func:`series_mean` for why the arithmetic is pinned).
+    """
+    if requested == 0:
+        return 0.0
+    return 100.0 * (accepted / requested)
 
 
 def series_mean(values: Sequence[float]) -> float:

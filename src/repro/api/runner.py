@@ -562,6 +562,7 @@ def _run_trace_arrivals(scenario: TraceArrivalsScenario) -> tuple[str, dict[str,
         config,
         batch_size=scenario.batch_size,
         facs_config=FACSConfig(engine=scenario.engine),
+        stream=scenario.stream,
     )
     frame = MetricsFrame.from_run_results([result.to_run_result(seed=scenario.seed)])
     metrics = {
@@ -573,6 +574,10 @@ def _run_trace_arrivals(scenario: TraceArrivalsScenario) -> tuple[str, dict[str,
         "batch_size": result.batch_size,
         "peak_occupancy_bu": result.peak_occupancy_bu,
         "frame": metrics_frame_to_dict(frame),
+        # Provenance only: both paths are byte-identical, so the key rides
+        # along just when the fast path was requested (keeping default
+        # reports byte-stable).
+        **({"stream": True} if scenario.stream else {}),
         "batches": [
             {
                 "index": record.index,

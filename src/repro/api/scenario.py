@@ -206,6 +206,10 @@ class Scenario:
     #: (``from_dict`` fills absent fields from the dataclass defaults).
     _OMIT_WHEN_NONE: ClassVar[frozenset[str]] = frozenset()
 
+    #: Same byte-stability contract for boolean opt-ins: dropped from
+    #: payloads while equal to ``False``.
+    _OMIT_WHEN_FALSE: ClassVar[frozenset[str]] = frozenset()
+
     # ------------------------------------------------------------------
     @property
     def slug(self) -> str:
@@ -223,6 +227,8 @@ class Scenario:
         for spec in dataclasses.fields(self):
             value = getattr(self, spec.name)
             if value is None and spec.name in self._OMIT_WHEN_NONE:
+                continue
+            if value is False and spec.name in self._OMIT_WHEN_FALSE:
                 continue
             payload[spec.name] = list(value) if isinstance(value, tuple) else value
         return versioned_payload(payload)
@@ -638,6 +644,13 @@ class TraceArrivalsScenario(Scenario):
     workloads.  Optional ``speed_kmh``/``angle_deg``/``distance_km`` pin
     the corresponding GPS attribute for every request (``None`` draws it
     from the paper's ranges, as in the figure sweeps).
+
+    ``stream=True`` selects the frame-native columnar fast path: the
+    trace never materializes per-request ``Call`` objects and whole
+    batches are scored through the certified decision screen.  Results
+    are byte-identical to the object path (that equivalence is gated by
+    ``benchmarks/bench_trace_scale.py``), so the flag only trades wall
+    clock — use it for million-request traces.
     """
 
     request_count: int = 200
@@ -649,13 +662,19 @@ class TraceArrivalsScenario(Scenario):
     seed: int = 20070625
     engine: str = "compiled"
     workload: str | None = None
+    stream: bool = False
 
     _OMIT_WHEN_NONE: ClassVar[frozenset[str]] = frozenset({"workload"})
+    _OMIT_WHEN_FALSE: ClassVar[frozenset[str]] = frozenset({"stream"})
 
     def __post_init__(self) -> None:
         _normalize_workload(self)
         _check_int(self.request_count, "request_count", 1)
         _check_int(self.batch_size, "batch_size", 1)
+        _require(
+            isinstance(self.stream, bool),
+            f"stream must be a boolean, got {self.stream!r}",
+        )
         _check_finite(self.arrival_window_s, "arrival_window_s")
         _require(
             self.arrival_window_s > 0,

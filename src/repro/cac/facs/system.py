@@ -25,20 +25,29 @@ import numpy as np
 
 from ...cellular.calls import Call
 from ...cellular.cell import BaseStation
-from ...cellular.mobility import UserState
+from ...cellular.mobility import (
+    PAPER_DISTANCE_RANGE_KM,
+    PAPER_SPEED_RANGE_KMH,
+    UserState,
+)
 from ...fuzzy.controller import ENGINES
-from ...fuzzy.defuzzification import Defuzzifier, DEFAULT_DEFUZZIFIER
+from ...fuzzy.defuzzification import DefuzzificationError, Defuzzifier, DEFAULT_DEFUZZIFIER
 from ...fuzzy.definition import FLCDefinition
 from ..base import AdmissionController, AdmissionDecision
 from ..counters import ServiceCounters
 from .config import DEFAULT_FLC1_CONFIG, DEFAULT_FLC2_CONFIG, FLC1Config, FLC2Config
 from .flc1 import FLC1
 from .flc2 import FLC2
+from .screen import DecisionScreen
 
 __all__ = ["FACSConfig", "FuzzyAdmissionControlSystem", "BatchAdmissionDecision"]
 
 #: Correction value assumed when a request carries no GPS observation.
 _NEUTRAL_CORRECTION = 0.5
+
+#: Sentinel cached when no decision screen can be built for a configuration,
+#: so the (failing) build is attempted at most once per controller.
+_SCREEN_UNAVAILABLE = object()
 
 
 @dataclass(frozen=True)
@@ -116,6 +125,19 @@ def _shared_flc2_from_definition(
     return FLC2(definition=definition, defuzzifier=defuzzifier, engine=engine)
 
 
+@lru_cache(maxsize=64)
+def _shared_screen(flc1: FLC1, flc2: FLC2, threshold: float) -> DecisionScreen | None:
+    """Build (or reuse) the decision screen for a controller pair.
+
+    Screens hold only immutable tables derived from the controller pair and
+    the threshold; FLC1/FLC2 instances are themselves memoised, so keying on
+    their identity shares one table build across every FACS system — and
+    every trace run — with the same configuration.  ``None`` (pair outside
+    the certified regime) is cached too, so the failing build runs once.
+    """
+    return DecisionScreen.build(flc1, flc2, threshold)
+
+
 @dataclass(frozen=True)
 class BatchAdmissionDecision:
     """Vectorized what-if admission outcome for ``N`` candidate requests.
@@ -176,6 +198,9 @@ class FuzzyAdmissionControlSystem(AdmissionController):
                 definition=cfg.flc2_definition,
             )
         self._counters = ServiceCounters(capacity_bu=cfg.counter_capacity_bu)
+        # Built lazily on first decide_columns call (table construction is
+        # worth amortising only for column-oriented trace workloads).
+        self._screen: DecisionScreen | object | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -236,6 +261,76 @@ class FuzzyAdmissionControlSystem(AdmissionController):
                 speeds[observed], angles[observed], distances[observed]
             )
         return values
+
+    def score_columns(
+        self,
+        speeds_kmh: np.ndarray,
+        angles_deg: np.ndarray,
+        distances_km: np.ndarray,
+        request_bus: np.ndarray,
+        occupancy_bu: int,
+    ) -> np.ndarray:
+        """FLC1 → FLC2 scores for pre-drawn observation columns.
+
+        The frame-native twin of :meth:`decide_batch`'s scoring stage:
+        candidates arrive as columns (one entry per request, all observed)
+        instead of ``Call`` objects, and every candidate sees the same
+        ``occupancy_bu`` snapshot.  Speed and distance are clamped into the
+        controller universes exactly like :meth:`UserState.clamped`, so the
+        scores are bit-identical to :meth:`decide_batch` over the equivalent
+        calls.
+        """
+        speeds = np.clip(speeds_kmh, *PAPER_SPEED_RANGE_KMH)
+        distances = np.clip(distances_km, *PAPER_DISTANCE_RANGE_KM)
+        corrections = self._flc1.correction_values(speeds, angles_deg, distances)
+        return self._flc2.decision_scores(
+            corrections,
+            request_bus,
+            np.full(len(request_bus), float(occupancy_bu)),
+        )
+
+    def decide_columns(
+        self,
+        speeds_kmh: np.ndarray,
+        angles_deg: np.ndarray,
+        distances_km: np.ndarray,
+        request_bus: np.ndarray,
+        occupancy_bu: int,
+    ) -> np.ndarray:
+        """Boolean threshold verdicts for pre-drawn observation columns.
+
+        Byte-identical to ``score_columns(...) > acceptance_threshold``
+        element for element, but routed through the certified
+        :class:`~repro.cac.facs.screen.DecisionScreen` when the controller
+        pair supports it: most rows are decided from interval bounds alone
+        and only the undecidable remainder pays for exact dense-grid
+        inference.  Configurations outside the certified regime (reference
+        engine, custom operators or membership shapes, …) fall back to the
+        exact score path wholesale.
+        """
+        screen = self._screen
+        if screen is None:
+            screen = _shared_screen(
+                self._flc1, self._flc2, self._config.acceptance_threshold
+            )
+            self._screen = screen if screen is not None else _SCREEN_UNAVAILABLE
+        if isinstance(screen, DecisionScreen):
+            try:
+                return screen.decide(
+                    np.clip(speeds_kmh, *PAPER_SPEED_RANGE_KMH),
+                    angles_deg,
+                    np.clip(distances_km, *PAPER_DISTANCE_RANGE_KM),
+                    request_bus,
+                    float(occupancy_bu),
+                )
+            except DefuzzificationError:
+                # Deferred: re-run exactly so diagnostics (e.g. the
+                # no-rule-fired error) carry their canonical batch wording.
+                pass
+        scores = self.score_columns(
+            speeds_kmh, angles_deg, distances_km, request_bus, occupancy_bu
+        )
+        return scores > self._config.acceptance_threshold
 
     def decide_batch(
         self, calls: Sequence[Call], station: BaseStation, now: float

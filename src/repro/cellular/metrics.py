@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import ClassVar, Sequence
 
+from ..analysis.stats import acceptance_percentage as _acceptance_percentage
 from .calls import Call, CallState, CallType
 from .traffic import ServiceClass
 
@@ -84,8 +85,12 @@ class CallMetrics:
 
     @property
     def acceptance_percentage(self) -> float:
-        """Percentage of accepted calls, 0–100 (the y axis of Figs. 7–10)."""
-        return 100.0 * self.acceptance_ratio
+        """Percentage of accepted calls, 0–100 (the y axis of Figs. 7–10).
+
+        Delegates to the shared arithmetic spec in
+        :func:`repro.analysis.stats.acceptance_percentage`.
+        """
+        return _acceptance_percentage(self.accepted, self.requested)
 
     @property
     def blocking_probability(self) -> float:

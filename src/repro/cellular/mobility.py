@@ -17,6 +17,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from .geometry import Point, Vector, heading_between, normalize_angle, relative_angle
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -109,6 +111,37 @@ class UserProfile:
             else rng.uniform(*self.distance_range)
         )
         return UserState(speed_kmh=speed, angle_deg=angle, distance_km=distance)
+
+    def sample_columns(
+        self, rng: "RandomStream", count: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``count`` user states as (speed, angle, distance) columns.
+
+        Consumes the stream exactly like ``count`` calls of :meth:`sample`:
+        only ``None`` fields draw — interleaved per user in speed → angle →
+        distance order, one standard uniform each, mapped through the same
+        ``low + (high - low) * u`` affine numpy's ``uniform`` applies — so
+        the columnar trace builder stays bit-identical to the object path.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        specs = (
+            (self.speed_kmh, self.speed_range),
+            (self.angle_deg, self.angle_range),
+            (self.distance_km, self.distance_range),
+        )
+        drawn = [index for index, (value, _) in enumerate(specs) if value is None]
+        columns: list[np.ndarray | None] = [None, None, None]
+        if drawn:
+            uniforms = rng.random_batch(len(drawn) * count).reshape(count, len(drawn))
+            for slot, index in enumerate(drawn):
+                low, high = specs[index][1]
+                columns[index] = low + (high - low) * uniforms[:, slot]
+        for index, (value, _) in enumerate(specs):
+            if value is not None:
+                columns[index] = np.full(count, float(value))
+        speed, angle, distance = columns
+        return speed, angle, distance
 
 
 class UserPopulation:

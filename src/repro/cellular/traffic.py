@@ -121,6 +121,30 @@ class TrafficMix:
         """Draw a service class according to the mix shares."""
         return self._services[rng.choice_index(self._probabilities)]
 
+    # -- columnar sampling tables (trace pipeline) ---------------------
+    @property
+    def services(self) -> tuple[ServiceClass, ...]:
+        """The class order behind :meth:`sample_class_codes` codes."""
+        return self._services
+
+    def sample_class_codes(self, rng: "RandomStream", count: int) -> np.ndarray:
+        """``count`` class codes (indices into :attr:`services`); consumes the
+        stream exactly like ``count`` calls of :meth:`sample_class`."""
+        return rng.choice_indices(self._probabilities, count)
+
+    def bandwidth_by_code(self) -> np.ndarray:
+        """Per-code bandwidth demand (BU, int64), aligned with :attr:`services`."""
+        return np.asarray(
+            [self._classes[s].bandwidth_units for s in self._services], dtype=np.int64
+        )
+
+    def mean_holding_by_code(self) -> np.ndarray:
+        """Per-code mean holding time (s, float64), aligned with :attr:`services`."""
+        return np.asarray(
+            [self._classes[s].mean_holding_time_s for s in self._services],
+            dtype=np.float64,
+        )
+
     def offered_load_bu(self) -> float:
         """Expected bandwidth demand of a single request in BU."""
         return sum(spec.share * spec.bandwidth_units for spec in self._classes.values())

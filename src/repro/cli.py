@@ -82,6 +82,7 @@ _SHARED_SHAPING_DEFAULTS: dict[str, object] = {
 _RUN_SHAPING_DEFAULTS: dict[str, object] = {
     "replications": 5,
     "requests": [10, 30, 50, 70, 100],
+    "stream": False,
     **_SHARED_SHAPING_DEFAULTS,
 }
 _NETWORK_SHAPING_DEFAULTS: dict[str, object] = {
@@ -278,6 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=list(_RUN_SHAPING_DEFAULTS["requests"]),
         help="numbers of requesting connections to sweep (figure experiments only)",
+    )
+    run.add_argument(
+        "--stream",
+        action="store_true",
+        help="trace-arrivals only: run the frame-native columnar fast path "
+        "(byte-identical results, million-request wall clock)",
     )
     _add_performance_flags(run)
     _add_report_flags(run)
@@ -564,6 +571,11 @@ def _scenario_from_run_flags(
             f"target instead (see `python -m repro list`)"
         )
     scenario = scenario_for(args.experiment)
+    if args.stream and not isinstance(scenario, TraceArrivalsScenario):
+        raise SystemExit(
+            f"--stream applies only to the trace-arrivals experiment; "
+            f"experiment {args.experiment!r} has no columnar fast path"
+        )
     if isinstance(scenario, FigureSweepScenario):
         return replace(
             scenario,
@@ -594,9 +606,12 @@ def _scenario_from_run_flags(
         if ignored:
             raise SystemExit(
                 f"experiment {args.experiment!r} accepts only --engine of the "
-                f"run flags; drop {', '.join(ignored)} or shape the scenario "
-                f"via --config (or its dedicated subcommand)"
+                f"run flags (trace-arrivals also takes --stream); drop "
+                f"{', '.join(ignored)} or shape the scenario via --config "
+                f"(or its dedicated subcommand)"
             )
+        if isinstance(scenario, TraceArrivalsScenario):
+            return replace(scenario, engine=args.engine, stream=args.stream)
         return replace(scenario, engine=args.engine)
     if isinstance(scenario, ArtifactScenario):
         return scenario

@@ -65,6 +65,50 @@ class RandomStream:
         """
         return int(self._rng.choice(len(probabilities), p=probabilities))
 
+    # -- batch draws (bit-identical to the scalar loops) -------------------
+    #
+    # numpy's ``Generator`` fills sized draws element by element from the
+    # same bit stream as the matching scalar calls, so each method below
+    # consumes the generator exactly like ``count`` scalar calls — the
+    # columnar trace builder leans on this to stay byte-identical to the
+    # historical per-request draw loops.
+
+    def uniform_batch(self, low: float, high: float, count: int) -> np.ndarray:
+        """``count`` uniform draws on ``[low, high)``; same stream as
+        ``count`` calls of :meth:`uniform`."""
+        if high < low:
+            raise ValueError(f"uniform bounds reversed: low={low}, high={high}")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self._rng.uniform(low, high, size=count)
+
+    def random_batch(self, count: int) -> np.ndarray:
+        """``count`` standard uniforms on ``[0, 1)``.
+
+        ``uniform(low, high)`` is exactly ``low + (high - low) * u`` over one
+        standard uniform ``u``, so callers that need per-draw bounds (e.g.
+        interleaved speed/angle/distance columns) can draw the raw batch and
+        apply the affine maps themselves, bit for bit.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self._rng.random(size=count)
+
+    def exponential_by_means(self, means: np.ndarray) -> np.ndarray:
+        """One exponential draw per entry of ``means``; same stream as
+        calling :meth:`exponential` with each mean in order."""
+        means = np.asarray(means, dtype=np.float64)
+        if means.size and not np.all(means > 0):
+            raise ValueError("exponential means must all be positive")
+        return means * self._rng.standard_exponential(means.size)
+
+    def choice_indices(self, probabilities: np.ndarray, count: int) -> np.ndarray:
+        """``count`` index draws from pre-normalised probabilities; same
+        stream as ``count`` calls of :meth:`choice_index`."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self._rng.choice(len(probabilities), size=count, p=probabilities)
+
     def shuffle(self, items: list) -> list:
         """Return a new list with the items in random order."""
         indices = self._rng.permutation(len(items))

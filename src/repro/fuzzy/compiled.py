@@ -325,6 +325,46 @@ class CompiledMamdaniEngine(MamdaniEngine):
             plans[var_name] = (np.asarray(entry_rules, dtype=np.intp), tensor, variable)
         self._consequent_plans = plans
 
+        # Term-grouped consequent plans: the batched MAXIMUM-s-norm fast
+        # path.  Rules sharing a consequent term have *identical* implication
+        # surfaces, and with max as the s-norm the per-entry fold
+        # ``max_e f(T, s_e)`` equals ``f(T, max_e s_e)`` for both
+        # implications (min and scaling by a non-negative surface are
+        # monotone selections/operations, so this is exact, not just
+        # algebraically true) — the implication tensor shrinks from one row
+        # per rule to one row per distinct term.  Each term's clipped
+        # surface is exactly zero outside its membership support — the
+        # identity of max — so aggregation touches only the support slice.
+        grouped: dict[
+            str, tuple[list[np.ndarray], list[np.ndarray], list[tuple[int, int]], int]
+        ] = {}
+        if self._snorm is MAXIMUM:
+            for var_name, variable in rule_base.output_variables.items():
+                term_rules: dict[str, list[int]] = {}
+                for rule_index, rule in enumerate(rule_base):
+                    for consequent in rule.consequents:
+                        if consequent.variable == var_name:
+                            term_rules.setdefault(consequent.term, []).append(rule_index)
+                term_surfaces: list[np.ndarray] = []
+                term_columns: list[np.ndarray] = []
+                supports: list[tuple[int, int]] = []
+                for term, rule_indices in term_rules.items():
+                    surface = self._output_term_surfaces[var_name][term]
+                    nonzero = np.flatnonzero(surface != 0.0)
+                    start, stop = (
+                        (int(nonzero[0]), int(nonzero[-1]) + 1) if nonzero.size else (0, 0)
+                    )
+                    term_surfaces.append(np.ascontiguousarray(surface[start:stop]))
+                    term_columns.append(np.asarray(rule_indices, dtype=np.intp))
+                    supports.append((start, stop))
+                grouped[var_name] = (
+                    term_surfaces,
+                    term_columns,
+                    supports,
+                    int(variable.grid.shape[0]),
+                )
+        self._grouped_consequent_plans = grouped
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -569,6 +609,11 @@ class CompiledMamdaniEngine(MamdaniEngine):
         over *all* entries equals the scalar path's fold over the fired
         subset.
         """
+        grouped = self._grouped_consequent_plans.get(var_name)
+        if grouped is not None:
+            return self._aggregate_output_batch_grouped(
+                strengths, grouped, var_name, row_offset
+            )
         entry_strengths = strengths[:, entry_rules]
         fired_any = (entry_strengths > 0.0).any(axis=1)
         if not fired_any.all():
@@ -589,6 +634,67 @@ class CompiledMamdaniEngine(MamdaniEngine):
             aggregated = np.asarray(snorm(aggregated, clipped[:, entry, :]))
         return aggregated
 
+    @staticmethod
+    def _term_strengths_batch(
+        strengths: np.ndarray, term_columns: list[np.ndarray]
+    ) -> np.ndarray:
+        """Per-consequent-term maximum firing strengths: ``(N, n_terms)``.
+
+        With the MAXIMUM s-norm a term's effective clip level is the maximum
+        strength over the rules concluding in it; strengths are non-negative,
+        so ``any(term > 0)`` is also exactly the per-entry fired check.
+        """
+        count = strengths.shape[0]
+        term_strengths = np.empty((count, len(term_columns)))
+        for t, columns in enumerate(term_columns):
+            if columns.size == 1:
+                term_strengths[:, t] = strengths[:, columns[0]]
+            else:
+                strengths[:, columns].max(axis=1, out=term_strengths[:, t])
+        return term_strengths
+
+    def _aggregate_output_batch_grouped(
+        self,
+        strengths: np.ndarray,
+        grouped: tuple[
+            list[np.ndarray], list[np.ndarray], list[tuple[int, int]], int
+        ],
+        var_name: str,
+        row_offset: int,
+    ) -> np.ndarray:
+        """:meth:`_aggregate_output_batch` via the term-grouped plan.
+
+        Bit-identical to the per-entry fold: strengths are non-negative, so
+        the term strength ``max_e s_e`` selects the entry that would win the
+        element-wise maximum anyway (min against a fixed surface and scaling
+        by a non-negative surface are both monotone in the strength), and
+        outside a term's support its clipped surface is exactly ``0.0`` —
+        the identity the zero-initialised accumulator already holds.
+        """
+        term_surfaces, term_columns, supports, grid_length = grouped
+        count = strengths.shape[0]
+        term_strengths = self._term_strengths_batch(strengths, term_columns)
+        fired_any = (term_strengths > 0.0).any(axis=1)
+        if not fired_any.all():
+            row = row_offset + int(np.flatnonzero(~fired_any)[0])
+            raise DefuzzificationError(
+                f"no rule fired for output variable {var_name!r} at batch row "
+                f"{row}; the rule base does not cover this input region"
+            )
+        aggregated = np.zeros((count, grid_length))
+        clip = self._implication == ImplicationMethod.CLIP
+        for t, (start, stop) in enumerate(supports):
+            if start == stop:
+                continue
+            column = term_strengths[:, t, None]
+            if clip:
+                contribution = np.minimum(term_surfaces[t], column)
+            else:
+                contribution = term_surfaces[t] * column
+            window = aggregated[:, start:stop]
+            np.maximum(window, contribution, out=window)
+        return aggregated
+
     def _defuzzify_fast_batch(
         self, var_name: str, variable: LinguisticVariable, surfaces: np.ndarray
     ) -> np.ndarray:
@@ -596,13 +702,22 @@ class CompiledMamdaniEngine(MamdaniEngine):
         if self._fast_centroid:
             grid = variable.grid
             spacing = self._grid_diffs[var_name]
-            areas = (spacing * (surfaces[:, 1:] + surfaces[:, :-1]) / 2.0).sum(axis=1)
+            # In-place temporaries; every operation and reduction order is
+            # exactly the scalar fast path's (multiplication commutes bit
+            # for bit), so the results stay bit-identical.
+            trapezoids = surfaces[:, 1:] + surfaces[:, :-1]
+            trapezoids *= spacing
+            trapezoids /= 2.0
+            areas = trapezoids.sum(axis=1)
             if np.any(areas <= _EPS):  # pragma: no cover - unreachable
                 raise DefuzzificationError("zero area under membership surface")
             moments = surfaces * grid
-            return (spacing * (moments[:, 1:] + moments[:, :-1]) / 2.0).sum(
-                axis=1
-            ) / areas
+            trapezoids = moments[:, 1:] + moments[:, :-1]
+            trapezoids *= spacing
+            trapezoids /= 2.0
+            centroids = trapezoids.sum(axis=1)
+            centroids /= areas
+            return centroids
         return np.array([self._defuzzifier(variable.grid, row) for row in surfaces])
 
     def _infer_batch_block(
@@ -634,6 +749,17 @@ class CompiledMamdaniEngine(MamdaniEngine):
             (plan[1].shape[0] * plan[1].shape[1] for plan in self._consequent_plans.values()),
             default=1,
         )
+        if self._grouped_consequent_plans:
+            # The grouped path never materialises the full implication
+            # tensor; its per-row footprint is one aggregated surface plus
+            # one support-sliced contribution.
+            max_entries = max(
+                (
+                    grid_length + max((stop - start for start, stop in supports), default=0)
+                    for _, _, supports, grid_length in self._grouped_consequent_plans.values()
+                ),
+                default=1,
+            )
         block = max(1, self._BATCH_BLOCK_ELEMENTS // max(max_entries, 1))
         if count <= block:
             outputs, dominant = self._infer_batch_block(matrix)

@@ -49,10 +49,20 @@ __all__ = [
 ]
 
 _EPS = 1e-12
+# np.isclose defaults, inlined: for finite values np.isclose(x, b) is exactly
+# |x - b| <= atol + rtol * |b|, and the direct expression skips np.isclose's
+# errstate/broadcast machinery — a fixed cost that dominates small batches.
+_ISCLOSE_RTOL = 1e-5
+_ISCLOSE_ATOL = 1e-8
 
 
 def _as_array(x: float | np.ndarray) -> np.ndarray:
     return np.asarray(x, dtype=float)
+
+
+def _near_peak(x: np.ndarray, b: float) -> np.ndarray:
+    """Bit-identical replacement for ``np.isclose(x, b)`` on finite inputs."""
+    return np.abs(x - b) <= (_ISCLOSE_ATOL + _ISCLOSE_RTOL * abs(b))
 
 
 class MembershipFunction(ABC):
@@ -144,11 +154,11 @@ class Triangular(MembershipFunction):
             rising = (x > self.a) & (x < self.b)
             mu[rising] = (x[rising] - self.a) / left_width
         else:
-            mu[np.isclose(x, self.b)] = 1.0
+            mu[_near_peak(x, self.b)] = 1.0
         if right_width > _EPS:
             falling = (x >= self.b) & (x < self.c)
             mu[falling] = (self.c - x[falling]) / right_width
-        mu[np.isclose(x, self.b)] = 1.0
+        mu[_near_peak(x, self.b)] = 1.0
         if left_width <= _EPS:
             # Left shoulder: everything at/below the peak is fully included
             # only at the peak itself unless it is also the universe edge.

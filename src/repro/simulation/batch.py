@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from ..analysis.frame import FrameRow, run_result_row
 from ..cac.base import AdmissionController
 from ..cellular.calls import Call, CallType
@@ -32,7 +34,9 @@ from .results import RunResult
 __all__ = [
     "BatchCallRecord",
     "BatchRunOutput",
+    "TraceArrays",
     "build_requests",
+    "build_trace_arrays",
     "run_batch_experiment",
     "run_batch_experiment_row",
 ]
@@ -72,52 +76,125 @@ class BatchRunOutput:
         return self.result.acceptance_percentage
 
 
-def build_requests(config: BatchExperimentConfig, streams: StreamFactory) -> list[Call]:
-    """Draw the arrival times, service classes and user states of all requests.
+@dataclass(frozen=True)
+class TraceArrays:
+    """A whole arrival trace as one numpy column per request attribute.
 
-    A pure function of ``(config, streams)``: the same seeded configuration
-    always yields the same trace, which is what lets the trace-driven
-    pipeline (:mod:`repro.simulation.trace`) materialize a whole workload
-    offline and replay it through the batched admission path.
+    The columnar twin of the ``list[Call]`` a batch run replays: same draws,
+    same values, no per-request objects.  ``class_codes`` indexes into
+    ``services`` (the traffic mix's class order); every column has one entry
+    per request, in arrival order, and call ids are implicitly ``1..n`` —
+    exactly the per-run sequential ids :func:`build_requests` assigns.
+    """
+
+    services: tuple[ServiceClass, ...]
+    arrival_time_s: np.ndarray
+    class_codes: np.ndarray
+    bandwidth_units: np.ndarray
+    holding_time_s: np.ndarray
+    speed_kmh: np.ndarray
+    angle_deg: np.ndarray
+    distance_km: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.arrival_time_s)
+
+    @property
+    def requested_bu(self) -> int:
+        """Total requested bandwidth of the trace — one vectorized sum."""
+        return int(self.bandwidth_units.sum())
+
+    def to_calls(self) -> list[Call]:
+        """Materialize the per-request :class:`Call` objects of the trace."""
+        services = self.services
+        codes = self.class_codes.tolist()
+        bandwidths = self.bandwidth_units.tolist()
+        arrivals = self.arrival_time_s.tolist()
+        holdings = self.holding_time_s.tolist()
+        speeds = self.speed_kmh.tolist()
+        angles = self.angle_deg.tolist()
+        distances = self.distance_km.tolist()
+        return [
+            Call(
+                service=services[codes[index]],
+                bandwidth_units=bandwidths[index],
+                call_type=CallType.NEW,
+                user_state=UserState(
+                    speed_kmh=speeds[index],
+                    angle_deg=angles[index],
+                    distance_km=distances[index],
+                ),
+                requested_at=arrivals[index],
+                holding_time_s=holdings[index],
+                # Per-run sequential ids (not the process-global counter), so
+                # run outputs — traces, and anything keyed or seeded by id —
+                # are a pure function of the config, identical in any process
+                # or execution order.
+                call_id=index + 1,
+            )
+            for index in range(len(arrivals))
+        ]
+
+
+def build_trace_arrays(
+    config: BatchExperimentConfig, streams: StreamFactory
+) -> TraceArrays:
+    """Draw the whole trace as columns — bit-identical to the object path.
+
+    A pure function of ``(config, streams)``, like :func:`build_requests`
+    (which materializes its objects from these columns).  Each attribute
+    draws from its own named stream, and the streams are independent, so
+    batching per stream preserves the historical per-request draw sequence
+    bit for bit: sized numpy draws consume each generator exactly like the
+    scalar loops did — for the legacy no-workload sequence and for every
+    :data:`~repro.workloads.spec.WORKLOADS` arrival model.
     """
     arrival_rng = streams.stream("arrivals")
     class_rng = streams.stream("service-class")
     user_rng = streams.stream("user-state")
     holding_rng = streams.stream("holding-time")
 
+    count = config.request_count
     if config.workload is None:
-        # The legacy draw sequence, reproduced bit for bit.
-        arrival_times = sorted(
-            arrival_rng.uniform(0.0, config.arrival_window_s)
-            for _ in range(config.request_count)
+        # The legacy draw sequence (sorted uniforms over the window),
+        # reproduced bit for bit by the vectorized order statistics.
+        arrival_times = np.sort(
+            arrival_rng.uniform_batch(0.0, config.arrival_window_s, count)
         )
     else:
-        arrival_times = config.workload.arrival.batch_arrival_times(
-            arrival_rng, config.request_count, config.arrival_window_s
+        arrival_times = config.workload.arrival.batch_arrival_times_array(
+            arrival_rng, count, config.arrival_window_s
         )
     mix = config.effective_traffic_mix()
-    requests: list[Call] = []
-    for sequence, arrival in enumerate(arrival_times, start=1):
-        service = mix.sample_class(class_rng)
-        spec = mix.spec(service)
-        user_state = config.user_profile.sample(user_rng)
-        holding = holding_rng.exponential(spec.mean_holding_time_s)
-        requests.append(
-            Call(
-                service=service,
-                bandwidth_units=spec.bandwidth_units,
-                call_type=CallType.NEW,
-                user_state=user_state,
-                requested_at=arrival,
-                holding_time_s=holding,
-                # Per-run sequential ids (not the process-global counter), so
-                # run outputs — traces, and anything keyed or seeded by id —
-                # are a pure function of the config, identical in any process
-                # or execution order.
-                call_id=sequence,
-            )
-        )
-    return requests
+    class_codes = mix.sample_class_codes(class_rng, count)
+    speed, angle, distance = config.user_profile.sample_columns(user_rng, count)
+    holding = holding_rng.exponential_by_means(
+        mix.mean_holding_by_code()[class_codes]
+    )
+    return TraceArrays(
+        services=mix.services,
+        arrival_time_s=arrival_times,
+        class_codes=class_codes,
+        bandwidth_units=mix.bandwidth_by_code()[class_codes],
+        holding_time_s=holding,
+        speed_kmh=speed,
+        angle_deg=angle,
+        distance_km=distance,
+    )
+
+
+def build_requests(config: BatchExperimentConfig, streams: StreamFactory) -> list[Call]:
+    """Draw the arrival times, service classes and user states of all requests.
+
+    A pure function of ``(config, streams)``: the same seeded configuration
+    always yields the same trace, which is what lets the trace-driven
+    pipeline (:mod:`repro.simulation.trace`) materialize a whole workload
+    offline and replay it through the batched admission path.  The draws
+    happen columnar-ly in :func:`build_trace_arrays`; this merely
+    materializes the `Call` objects, so the two representations can never
+    drift apart.
+    """
+    return build_trace_arrays(config, streams).to_calls()
 
 
 def run_batch_experiment(

@@ -95,7 +95,22 @@ class TaskReducer(ABC):
 
     Executors call these four methods structurally; implementations do not
     have to subclass (see :class:`repro.analysis.frame.FrameReducer`).
+
+    **Incremental fold.**  A reducer that sets ``incremental = True`` also
+    provides ``begin()`` / ``absorb(state, partial)`` / ``finalize(state)``.
+    Executors then fold each chunk partial into the running ``state`` the
+    moment it is available — always in *task-submission order*, regardless
+    of which worker finishes first — instead of buffering every partial for
+    one final ``merge``.  Because the absorption order is canonical, the
+    finalized result is byte-identical across serial/thread/process
+    backends at any worker count, and parent memory is bounded by the
+    accumulator (constant for a spilling accumulator like
+    :class:`repro.analysis.frame.FrameAccumulator`) rather than by the
+    total number of tasks.
     """
+
+    #: Set to True (with begin/absorb/finalize) to opt into incremental fold.
+    incremental: bool = False
 
     @abstractmethod
     def fold(self, results: Iterable[R]) -> Any:
@@ -112,6 +127,18 @@ class TaskReducer(ABC):
     @abstractmethod
     def merge(self, partials: Sequence[Any]) -> Any:
         """Combine the chunk partials, in task order, into the final result."""
+
+    def begin(self) -> Any:
+        """Fresh incremental-fold state (incremental reducers only)."""
+        raise NotImplementedError(f"{type(self).__name__} is not incremental")
+
+    def absorb(self, state: Any, partial: Any) -> None:
+        """Fold one chunk partial into ``state``, in task-submission order."""
+        raise NotImplementedError(f"{type(self).__name__} is not incremental")
+
+    def finalize(self, state: Any) -> Any:
+        """Close out the incremental fold and return the reduced result."""
+        raise NotImplementedError(f"{type(self).__name__} is not incremental")
 
 
 def _map_reduce_chunk(fn, reducer, chunk):
@@ -149,6 +176,10 @@ class SweepExecutor(ABC):
         chunking equals one fold over all results, the reduced value is
         identical for every backend and worker count.
         """
+        if getattr(reducer, "incremental", False):
+            state = reducer.begin()
+            reducer.absorb(state, reducer.fold(fn(task) for task in tasks))
+            return reducer.finalize(state)
         return reducer.merge([reducer.fold(fn(task) for task in tasks)])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -232,6 +263,10 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         """
         tasks = list(tasks)
         if not tasks:
+            if getattr(reducer, "incremental", False):
+                state = reducer.begin()
+                reducer.absorb(state, reducer.fold([]))
+                return reducer.finalize(state)
             return reducer.merge([reducer.fold([])])
         self._preflight(fn, reducer, tasks[0])
         workers = self._workers_for(len(tasks))
@@ -242,6 +277,8 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         # that *did* complete must still be unpacked, or its packed partial
         # — a shared-memory segment whose ownership the worker already
         # handed to this parent — would outlive the process in /dev/shm.
+        incremental = getattr(reducer, "incremental", False)
+        state = reducer.begin() if incremental else None
         packed: list = []
         first_error: BaseException | None = None
         with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
@@ -249,12 +286,20 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                 pool.submit(_map_reduce_chunk, fn, reducer, chunk)
                 for chunk in chunks
             ]
+            # Iterating the futures in submission order canonicalises the
+            # fold order: chunks are unpacked (and, incrementally, absorbed)
+            # in task order no matter which worker finishes first.
             for future in futures:
                 try:
-                    packed.append(future.result())
+                    result = future.result()
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
                     if first_error is None:
                         first_error = exc
+                    continue
+                if first_error is not None or not incremental:
+                    packed.append(result)
+                else:
+                    reducer.absorb(state, reducer.unpack(result))
         if first_error is not None:
             for partial in packed:
                 try:
@@ -266,6 +311,8 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                     f"{self._PICKLE_HINT} ({first_error})"
                 ) from first_error
             raise first_error
+        if incremental:
+            return reducer.finalize(state)
         return reducer.merge([reducer.unpack(p) for p in packed])
 
 
@@ -323,12 +370,22 @@ class ThreadPoolSweepExecutor(SweepExecutor):
         """Fold per chunk in the pool; no pack/unpack hop (same process)."""
         tasks = list(tasks)
         if not tasks:
+            if getattr(reducer, "incremental", False):
+                state = reducer.begin()
+                reducer.absorb(state, reducer.fold([]))
+                return reducer.finalize(state)
             return reducer.merge([reducer.fold([])])
         workers, chunks = self._plan(tasks)
         with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-            partials = list(
-                pool.map(lambda chunk: reducer.fold([fn(t) for t in chunk]), chunks)
-            )
+            stream = pool.map(lambda chunk: reducer.fold([fn(t) for t in chunk]), chunks)
+            if getattr(reducer, "incremental", False):
+                # pool.map yields in submission order, so chunk partials are
+                # absorbed in canonical task order as they become available.
+                state = reducer.begin()
+                for partial in stream:
+                    reducer.absorb(state, partial)
+                return reducer.finalize(state)
+            partials = list(stream)
         return reducer.merge(partials)
 
 

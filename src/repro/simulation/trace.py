@@ -27,12 +27,15 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..analysis import stats
 from ..cac.facs.system import FACSConfig, FuzzyAdmissionControlSystem
 from ..cellular.calls import Call
 from ..cellular.cell import BaseStation
 from ..cellular.metrics import CallMetrics
 from ..des.rng import StreamFactory
-from .batch import build_requests
+from .batch import TraceArrays, build_trace_arrays
 from .config import BatchExperimentConfig
 from .results import RunResult
 
@@ -65,21 +68,12 @@ class TraceRunResult:
 
     @property
     def acceptance_percentage(self) -> float:
-        """Delegates to :attr:`CallMetrics.acceptance_percentage` — the
-        single arithmetic spec for the paper's headline metric."""
+        """The paper's headline metric through its single arithmetic spec,
+        :func:`repro.analysis.stats.acceptance_percentage` (which
+        :attr:`CallMetrics.acceptance_percentage` also delegates to)."""
         if self.metrics is not None:
             return self.metrics.acceptance_percentage
-        return CallMetrics(
-            requested=self.requested,
-            accepted=self.accepted,
-            blocked=self.requested - self.accepted,
-            completed=0,
-            dropped=0,
-            handoff_requests=0,
-            handoff_accepted=0,
-            accepted_bu=0,
-            requested_bu=0,
-        ).acceptance_percentage
+        return stats.acceptance_percentage(self.accepted, self.requested)
 
     def to_run_result(self, seed: int = 0) -> RunResult:
         """The trace run as a counter row for the columnar result store.
@@ -108,6 +102,7 @@ def run_trace_arrivals(
     config: BatchExperimentConfig,
     batch_size: int = 16,
     facs_config: FACSConfig | None = None,
+    stream: bool = False,
 ) -> TraceRunResult:
     """Replay the trace described by ``config`` through ``decide_batch``.
 
@@ -115,15 +110,28 @@ def run_trace_arrivals(
     ``facs_config`` selects the FACS tuning and inference engine.  The
     controller is FACS by construction — it is the only controller with a
     vectorized batch admission path.
+
+    ``stream=True`` selects the frame-native fast path: the trace stays
+    columnar (:class:`~repro.simulation.batch.TraceArrays` — no per-request
+    ``Call`` objects), each batch is scored in one FLC1 → FLC2 pass over the
+    columns, and occupancy/departures are tracked with sorted numpy arrays.
+    Both paths replay the same draws and the same batch-synchronous
+    semantics, so their results — counters, per-batch records, peak
+    occupancy — are byte-identical; the object path is the equivalence
+    oracle the tests and the scale benchmark hold the fast path to.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     streams = StreamFactory(master_seed=config.stream_master_seed)
-    requests = build_requests(config, streams)
-
-    station = BaseStation(capacity_bu=config.capacity_bu)
+    arrays = build_trace_arrays(config, streams)
     controller = FuzzyAdmissionControlSystem(facs_config or FACSConfig())
     controller.reset()
+
+    if stream:
+        return _run_trace_columns(config, arrays, controller, batch_size)
+
+    requests = arrays.to_calls()
+    station = BaseStation(capacity_bu=config.capacity_bu)
 
     # Departure queue of admitted calls: (departure time, call id, call).
     # The call id breaks time ties deterministically.
@@ -133,7 +141,7 @@ def run_trace_arrivals(
     peak_occupancy = 0
     completed = 0
     accepted_bu = 0
-    requested_bu = sum(call.bandwidth_units for call in requests)
+    requested_bu = arrays.requested_bu
 
     def release_next_departure() -> None:
         nonlocal completed
@@ -202,5 +210,141 @@ def run_trace_arrivals(
             handoff_accepted=0,
             accepted_bu=accepted_bu,
             requested_bu=requested_bu,
+        ),
+    )
+
+
+def _run_trace_columns(
+    config: BatchExperimentConfig,
+    arrays: TraceArrays,
+    controller: FuzzyAdmissionControlSystem,
+    batch_size: int,
+) -> TraceRunResult:
+    """The vectorized trace hot loop: whole batches over numpy columns.
+
+    Equivalent to the object path batch for batch.  Scoring goes through
+    :meth:`~repro.cac.facs.system.FuzzyAdmissionControlSystem.decide_columns`,
+    which screens most rows with certified interval bounds and evaluates
+    exactly only the remainder — decisions stay byte-identical to the
+    oracle's ``scores > threshold`` comparison.  Within a batch,
+    bandwidth only shrinks, so a candidate whose demand exceeds the current
+    free bandwidth is rejected *permanently* — which is what lets the
+    greedy arrival-order admission run as a mask + prefix-sum loop whose
+    iteration count is bounded by the number of admissions, not the batch
+    size.  Pending departures are two sorted arrays (time, bandwidth); a
+    ``searchsorted`` prefix pop replaces the heap (release *order* within a
+    batch is unobservable — releases only sum into occupancy and the
+    completion counter — so the heap's call-id tie-break is not needed).
+
+    The controller's RTC/NRTC service counters are not maintained here:
+    they never feed back into ``decide_batch`` scores, so skipping the
+    per-call ``on_admitted``/``on_released`` bookkeeping changes no
+    observable output.
+    """
+    capacity = config.capacity_bu
+    arrivals = arrays.arrival_time_s
+    bandwidth = arrays.bandwidth_units
+    bandwidth_f = bandwidth.astype(np.float64)
+    departure_due = arrivals + arrays.holding_time_s
+    speeds = arrays.speed_kmh
+    angles = arrays.angle_deg
+    distances = arrays.distance_km
+
+    pending_times = np.empty(0, dtype=np.float64)
+    pending_bws = np.empty(0, dtype=np.int64)
+    records: list[TraceBatchRecord] = []
+    used = 0
+    accepted_total = 0
+    completed = 0
+    accepted_bu = 0
+    peak_occupancy = 0
+
+    total = len(arrays)
+    for start in range(0, total, batch_size):
+        stop = min(start + batch_size, total)
+        now = float(arrivals[start])
+
+        # Release every departure due by the batch start.
+        due = int(np.searchsorted(pending_times, now, side="right"))
+        if due:
+            used -= int(pending_bws[:due].sum())
+            completed += due
+            pending_times = pending_times[due:]
+            pending_bws = pending_bws[due:]
+
+        occupancy_before = used
+        scored_ok = controller.decide_columns(
+            speeds[start:stop],
+            angles[start:stop],
+            distances[start:stop],
+            bandwidth_f[start:stop],
+            used,
+        )
+
+        # Greedy admission in arrival order while bandwidth lasts.
+        candidates = start + np.flatnonzero(scored_ok)
+        candidate_bws = bandwidth[candidates]
+        free = capacity - used
+        admitted_runs: list[np.ndarray] = []
+        while candidates.size:
+            feasible = candidate_bws <= free
+            if not feasible.any():
+                break
+            candidates = candidates[feasible]
+            candidate_bws = candidate_bws[feasible]
+            cumulative = np.cumsum(candidate_bws)
+            take = int(np.searchsorted(cumulative, free, side="right"))
+            admitted_runs.append(candidates[:take])
+            free -= int(cumulative[take - 1])
+            candidates = candidates[take:]
+            candidate_bws = candidate_bws[take:]
+
+        accepted_in_batch = 0
+        if admitted_runs:
+            admitted = np.concatenate(admitted_runs)
+            admitted_bws = bandwidth[admitted]
+            admitted_bu = int(admitted_bws.sum())
+            accepted_in_batch = int(admitted.size)
+            used += admitted_bu
+            accepted_total += accepted_in_batch
+            accepted_bu += admitted_bu
+            peak_occupancy = max(peak_occupancy, used)
+            pending_times = np.concatenate((pending_times, departure_due[admitted]))
+            pending_bws = np.concatenate((pending_bws, admitted_bws))
+            order = np.argsort(pending_times, kind="stable")
+            pending_times = pending_times[order]
+            pending_bws = pending_bws[order]
+
+        records.append(
+            TraceBatchRecord(
+                index=start // batch_size,
+                start_time_s=now,
+                size=stop - start,
+                accepted=accepted_in_batch,
+                occupancy_before_bu=occupancy_before,
+                occupancy_after_bu=used,
+            )
+        )
+
+    # Final drain, mirroring the object path: every admitted call completes.
+    completed += int(pending_times.size)
+
+    return TraceRunResult(
+        controller=controller.name,
+        requested=total,
+        accepted=accepted_total,
+        batch_size=batch_size,
+        peak_occupancy_bu=peak_occupancy,
+        batches=tuple(records),
+        metrics=CallMetrics(
+            requested=total,
+            accepted=accepted_total,
+            blocked=total - accepted_total,
+            completed=completed,
+            dropped=0,
+            handoff_requests=0,
+            handoff_accepted=0,
+            accepted_bu=accepted_bu,
+            requested_bu=arrays.requested_bu,
         ),
     )

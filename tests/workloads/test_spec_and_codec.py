@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.io import (
+    SCHEMA_VERSION,
     read_workload_json,
     workload_from_dict,
     workload_to_dict,
@@ -87,7 +88,7 @@ class TestCodec:
 
     def test_payload_is_schema_versioned(self):
         payload = workload_to_dict(WORKLOADS.get("mmpp"))
-        assert payload["schema_version"] == 5
+        assert payload["schema_version"] == SCHEMA_VERSION
         assert payload["type"] == "workload"
         assert payload["arrival"]["kind"] == "mmpp"
 
